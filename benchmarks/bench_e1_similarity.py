@@ -1,0 +1,136 @@
+"""E1 / Fig-A — similarity search: quality vs work, with and without guarantees.
+
+Paper claim (Sections 2.2, 3.2): retrieval methods "are either fast and do
+not provide guarantees, or provide quality guarantees and are relatively
+slow"; progressive search and learning-augmented early termination bridge
+the gap.
+
+Series reported: exact scan, IVF (nprobe sweep), HNSW (ef sweep), LSH,
+progressive k-NN (delta sweep, both stop rules), learned-stop IVF.
+Work is counted in distance computations (machine-independent); recall is
+against the exact top-10.
+
+Expected shape: unguaranteed indexes (IVF/HNSW/LSH) dominate the
+recall-per-work frontier; the provably-guaranteed progressive scan sits
+near the brute-force cost; learned-stop matches fixed-nprobe recall with
+less work.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from conftest import format_table, write_results
+from repro.vector import (
+    BruteForceIndex,
+    HNSWIndex,
+    IVFIndex,
+    LSHIndex,
+    LearnedStopIVFIndex,
+    ProgressiveIndex,
+    generate_clustered_dataset,
+)
+from repro.vector.base import recall_at_k
+from repro.vector.dataset import generate_query_set
+
+N_POINTS = 6000
+DIM = 32
+N_CLUSTERS = 24
+N_QUERIES = 40
+K = 10
+SEED = 404
+
+
+@pytest.fixture(scope="module")
+def setup():
+    rng = np.random.default_rng(SEED)
+    dataset = generate_clustered_dataset(N_POINTS, DIM, N_CLUSTERS, rng)
+    queries = generate_query_set(dataset, N_QUERIES, rng)
+    train_queries = generate_query_set(dataset, 60, rng)
+    brute = BruteForceIndex()
+    brute.build(dataset)
+    exact = [brute.search(query, K) for query in queries]
+    return dataset, queries, train_queries, exact
+
+
+def evaluate(index, queries, exact):
+    recalls, work = [], []
+    for query, reference in zip(queries, exact):
+        result = index.search(query, K)
+        recalls.append(recall_at_k(result.ids, reference.ids))
+        work.append(result.distance_computations)
+    return float(np.mean(recalls)), float(np.mean(work))
+
+
+def test_e1_recall_work_frontier(setup, benchmark):
+    dataset, queries, train_queries, exact = setup
+    rows = []
+
+    rows.append(["brute (exact)", "-", "1.000", f"{N_POINTS}", "exact"])
+
+    for n_probe in (1, 2, 4, 8, 16):
+        index = IVFIndex(n_lists=48, n_probe=n_probe, seed=1)
+        index.build(dataset)
+        recall, work = evaluate(index, queries, exact)
+        rows.append(["ivf", f"nprobe={n_probe}", f"{recall:.3f}", f"{work:.0f}", "none"])
+
+    for ef in (8, 16, 32, 64):
+        index = HNSWIndex(m=8, ef_construction=64, ef_search=ef, seed=1)
+        index.build(dataset)
+        recall, work = evaluate(index, queries, exact)
+        rows.append(["hnsw", f"ef={ef}", f"{recall:.3f}", f"{work:.0f}", "none"])
+
+    index = LSHIndex(n_tables=8, n_bits=12, seed=1)
+    index.build(dataset)
+    recall, work = evaluate(index, queries, exact)
+    rows.append(["lsh", "8x12bit", f"{recall:.3f}", f"{work:.0f}", "none"])
+
+    for rule in ("rule_of_three", "hypergeometric"):
+        for delta in (0.3, 0.1, 0.05):
+            index = ProgressiveIndex(delta=delta, stop_rule=rule, seed=1)
+            index.build(dataset)
+            recall, work = evaluate(index, queries, exact)
+            rows.append(
+                [
+                    f"progressive/{rule}",
+                    f"delta={delta}",
+                    f"{recall:.3f}",
+                    f"{work:.0f}",
+                    f"P(err)<={delta}",
+                ]
+            )
+
+    learned = LearnedStopIVFIndex(n_lists=48, seed=1, safety_margin=1.3)
+    learned.build(dataset)
+    learned.train(train_queries, k=K)
+    recall, work = evaluate(learned, queries, exact)
+    rows.append(["learned_stop_ivf", "trained", f"{recall:.3f}", f"{work:.0f}", "learned"])
+
+    write_results(
+        "e1_similarity",
+        format_table(
+            ["method", "params", f"recall@{K}", "avg distance comps", "guarantee"],
+            rows,
+            title=(
+                f"E1: recall/work frontier (n={N_POINTS}, d={DIM}, "
+                f"{N_QUERIES} queries, k={K})"
+            ),
+        ),
+    )
+
+    # Timed kernel: one IVF search at the default operating point.
+    index = IVFIndex(n_lists=48, n_probe=4, seed=1)
+    index.build(dataset)
+    benchmark(lambda: index.search(queries[0], K))
+
+    # Shape assertions (who wins): approximate indexes beat brute on work
+    # at high recall; the guaranteed scan is the most expensive.
+    ivf_row = next(row for row in rows if row[0] == "ivf" and row[1] == "nprobe=8")
+    assert float(ivf_row[2]) >= 0.95
+    assert float(ivf_row[3]) < N_POINTS / 2
+    hyper_row = next(
+        row for row in rows
+        if row[0] == "progressive/hypergeometric" and row[1] == "delta=0.05"
+    )
+    assert float(hyper_row[3]) > N_POINTS * 0.8

@@ -1,0 +1,136 @@
+"""E2 / Tab-A — grounding ablation: what each P2 component buys.
+
+Paper claim (Section 3.2, Grounding): connecting the system to domain
+vocabulary, schema knowledge, and data values is what makes answers
+"relevant and factually consistent"; "irrelevant or misplaced data ...
+can cause hallucinations or erroneous conclusions".
+
+Conditions (additive ablation over the grounded parser):
+
+* ``ungrounded``  — exact table/column name matching only;
+* ``+schema_kg``  — fuzzy label/description matching (typo recovery);
+* ``+values``     — literal value index ("in zurich" -> city='zurich');
+* ``+joins``      — cross-table filters via FK paths (full grounding).
+
+Measured on generated NL2SQL workloads at three paraphrase-noise levels;
+metric is execution accuracy against executed gold answers.
+
+Expected shape: accuracy increases monotonically with grounding
+components, and the gap widens with noise (grounding is robustness).
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from conftest import format_table, write_results
+from repro.benchgen import WorkloadSpec, build_workload, execution_accuracy
+from repro.kg import SchemaKnowledgeGraph
+from repro.nl import GroundedSemanticParser, GroundingConfig
+
+CONDITIONS = [
+    (
+        "ungrounded",
+        GroundingConfig(
+            use_schema_graph=False, use_value_index=False,
+            use_join_resolution=False, use_vocabulary=False,
+        ),
+    ),
+    (
+        "+schema_kg",
+        GroundingConfig(
+            use_schema_graph=True, use_value_index=False,
+            use_join_resolution=False, use_vocabulary=False,
+        ),
+    ),
+    (
+        "+values",
+        GroundingConfig(
+            use_schema_graph=True, use_value_index=True,
+            use_join_resolution=False, use_vocabulary=False,
+        ),
+    ),
+    (
+        "+joins (full)",
+        GroundingConfig(
+            use_schema_graph=True, use_value_index=True,
+            use_join_resolution=True, use_vocabulary=False,
+        ),
+    ),
+]
+
+NOISE_LEVELS = (0.0, 0.4, 0.8)
+N_PER_DOMAIN = 18
+N_DOMAINS = 3
+
+
+@pytest.fixture(scope="module")
+def workloads():
+    return {
+        noise: build_workload(
+            WorkloadSpec(
+                n_questions_per_domain=N_PER_DOMAIN,
+                n_domains=N_DOMAINS,
+                paraphrase_strength=noise,
+                seed=77,
+            )
+        )
+        for noise in NOISE_LEVELS
+    }
+
+
+def run_condition(workload, config):
+    kg_cache = {}
+    correct = 0
+    for item in workload.items:
+        catalog = item.spec.database.catalog
+        key = id(catalog)
+        if key not in kg_cache:
+            kg_cache[key] = SchemaKnowledgeGraph(catalog)
+        parser = GroundedSemanticParser(kg_cache[key], config=config)
+        try:
+            outcome = parser.parse(item.surface_question)
+            result = item.spec.database.execute(outcome.sql)
+        except Exception:  # noqa: BLE001 - a failed parse is a wrong answer
+            continue
+        ordered = item.case.template == "top_n"
+        if execution_accuracy(result.rows, item.case.gold_rows, ordered=ordered):
+            correct += 1
+    return correct / len(workload.items)
+
+
+def test_e2_grounding_ablation(workloads, benchmark):
+    rows = []
+    accuracy = {}
+    for name, config in CONDITIONS:
+        row = [name]
+        for noise in NOISE_LEVELS:
+            value = run_condition(workloads[noise], config)
+            accuracy[(name, noise)] = value
+            row.append(f"{value:.2f}")
+        rows.append(row)
+
+    write_results(
+        "e2_grounding",
+        format_table(
+            ["condition"] + [f"noise={n}" for n in NOISE_LEVELS],
+            rows,
+            title=(
+                "E2: NL2SQL execution accuracy by grounding components "
+                f"({N_PER_DOMAIN * N_DOMAINS} questions x {N_DOMAINS} domains)"
+            ),
+        ),
+    )
+
+    # Timed kernel: one fully-grounded parse.
+    item = workloads[0.0].items[0]
+    kg = SchemaKnowledgeGraph(item.spec.database.catalog)
+    parser = GroundedSemanticParser(kg)
+    benchmark(lambda: parser.parse(item.case.question))
+
+    # Shape: full grounding >= ungrounded at every noise level, strictly
+    # better on clean data (value/join templates are unreachable without).
+    for noise in NOISE_LEVELS:
+        assert accuracy[("+joins (full)", noise)] >= accuracy[("ungrounded", noise)]
+    assert accuracy[("+joins (full)", 0.0)] > accuracy[("ungrounded", 0.0)]
+    assert accuracy[("+joins (full)", 0.0)] >= 0.9

@@ -1,0 +1,146 @@
+"""E3 / Tab-B — confidence calibration: self-report vs consistency UQ.
+
+Paper claim (Section 2.2, Soundness): "When relying solely on an LLM,
+confidence scores may not accurately reflect the true probability of
+correctness"; Section 3.2 proposes consistency-based black-box UQ [7].
+
+Conditions per generator error rate:
+
+* ``self_report``    — the model's own confidence (1 sample);
+* ``consistency@m``  — agreement fraction over m samples (m sweep: the
+  DESIGN.md ablation: calibration improves with m but costs m x calls);
+* ``+isotonic``      — consistency@5 recalibrated on a held-out split.
+
+Metrics: ECE (primary), Brier, AUROC.
+
+Expected shape: self-report ECE is large and roughly tracks the error
+rate (the model is uniformly overconfident); consistency confidence has
+near-perfect AUROC and much lower ECE; recalibration brings ECE near
+zero; larger m helps.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from conftest import format_table, write_results
+from repro.nl import SimulatedLLM
+from repro.soundness import (
+    ConsistencyUQ,
+    IsotonicCalibrator,
+    auroc,
+    brier_score,
+    expected_calibration_error,
+)
+from repro.sqldb import Database
+
+N_QUESTIONS = 120
+ERROR_RATES = (0.2, 0.4, 0.6)
+SAMPLE_COUNTS = (3, 5, 9)
+
+GOLD = "SELECT AVG(salary) AS avg_salary FROM emp WHERE dept = 'x'"
+
+
+def make_database() -> Database:
+    db = Database()
+    db.execute("CREATE TABLE emp (id INT PRIMARY KEY, dept TEXT, salary FLOAT)")
+    rows = ", ".join(
+        f"({i}, '{'xyz'[i % 3]}', {50.0 + 7 * (i % 11)})" for i in range(1, 31)
+    )
+    db.execute(f"INSERT INTO emp VALUES {rows}")
+    return db
+
+
+def collect(error_rate: float, m: int):
+    """(self confidences, consistency confidences, correctness) arrays."""
+    db = make_database()
+    llm = SimulatedLLM(db.catalog, error_rate=error_rate, seed=99)
+    uq = ConsistencyUQ(db)
+    self_conf, cons_conf, correct = [], [], []
+    for index in range(N_QUESTIONS):
+        outputs = llm.generate_sql(f"question {index}", GOLD, n_samples=m)
+        vote = uq.assess(outputs)
+        self_conf.append(outputs[0].self_confidence)
+        cons_conf.append(vote.confidence)
+        correct.append(
+            1.0 if vote.chosen is not None and vote.chosen.is_faithful else 0.0
+        )
+    return np.array(self_conf), np.array(cons_conf), np.array(correct)
+
+
+def test_e3_calibration(benchmark):
+    rows = []
+    summary = {}
+    for error_rate in ERROR_RATES:
+        self_conf, _cons, correct1 = collect(error_rate, 1)
+        rows.append(
+            [
+                f"{error_rate}",
+                "self_report",
+                f"{expected_calibration_error(self_conf, correct1):.3f}",
+                f"{brier_score(self_conf, correct1):.3f}",
+                f"{auroc(self_conf, correct1):.3f}",
+                f"{np.mean(correct1):.2f}",
+            ]
+        )
+        summary[(error_rate, "self")] = (
+            expected_calibration_error(self_conf, correct1),
+            auroc(self_conf, correct1),
+        )
+        for m in SAMPLE_COUNTS:
+            _self, cons_conf, correct = collect(error_rate, m)
+            ece = expected_calibration_error(cons_conf, correct)
+            rows.append(
+                [
+                    f"{error_rate}",
+                    f"consistency@{m}",
+                    f"{ece:.3f}",
+                    f"{brier_score(cons_conf, correct):.3f}",
+                    f"{auroc(cons_conf, correct):.3f}",
+                    f"{np.mean(correct):.2f}",
+                ]
+            )
+            summary[(error_rate, f"cons{m}")] = (ece, auroc(cons_conf, correct))
+        # Recalibrated condition: isotonic fitted on the first half.
+        _self, cons_conf, correct = collect(error_rate, 5)
+        half = N_QUESTIONS // 2
+        calibrator = IsotonicCalibrator().fit(cons_conf[:half], correct[:half])
+        recal = np.clip(calibrator.transform(cons_conf[half:]), 0, 1)
+        ece = expected_calibration_error(recal, correct[half:])
+        rows.append(
+            [
+                f"{error_rate}",
+                "consistency@5+isotonic",
+                f"{ece:.3f}",
+                f"{brier_score(recal, correct[half:]):.3f}",
+                f"{auroc(recal, correct[half:]):.3f}",
+                f"{np.mean(correct[half:]):.2f}",
+            ]
+        )
+        summary[(error_rate, "recal")] = (ece, None)
+
+    write_results(
+        "e3_calibration",
+        format_table(
+            ["error rate", "confidence model", "ECE", "Brier", "AUROC", "accuracy"],
+            rows,
+            title=f"E3: confidence calibration ({N_QUESTIONS} questions per cell)",
+        ),
+    )
+
+    # Timed kernel: one consistency assessment at m=5.
+    db = make_database()
+    llm = SimulatedLLM(db.catalog, error_rate=0.4, seed=99)
+    uq = ConsistencyUQ(db)
+    outputs = llm.generate_sql("timed question", GOLD, n_samples=5)
+    benchmark(lambda: uq.assess(outputs))
+
+    # Shape assertions: consistency beats self-report on ECE and AUROC at
+    # every error rate; recalibration helps further.
+    for error_rate in ERROR_RATES:
+        self_ece, self_auroc = summary[(error_rate, "self")]
+        cons_ece, cons_auroc = summary[(error_rate, "cons5")]
+        assert cons_ece <= self_ece + 0.01
+        assert cons_auroc > self_auroc
+        assert summary[(error_rate, "recal")][0] <= cons_ece + 0.05

@@ -1,0 +1,122 @@
+"""E4 / Fig-B — selective answering: risk/coverage of abstention policies.
+
+Paper claim (P4): the system should "refrain from producing answers when
+unable to produce any answer with sufficient certainty".
+
+Conditions (confidence source feeding a threshold policy):
+
+* ``self_report``        — abstain on low self-reported confidence;
+* ``consistency``        — abstain on low sample agreement;
+* ``consistency+verify`` — agreement, plus hard abstention whenever
+  provenance verification fails (the DESIGN.md verification-depth axis).
+
+Output: risk (error rate among answered) at matched coverage levels, and
+the area under the risk-coverage curve (AURC, lower is better).
+
+Expected shape: self-report barely orders answers (near-flat curve);
+consistency produces a steep curve (low risk at moderate coverage);
+verification removes a further slice of wrong answers at equal coverage.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from conftest import format_table, write_results
+from repro.nl import SimulatedLLM
+from repro.soundness import (
+    AnswerVerifier,
+    ConsistencyUQ,
+    area_under_risk_coverage,
+    risk_coverage_curve,
+)
+from repro.soundness.abstention import accuracy_at_coverage
+from repro.sqldb import Database
+
+N_QUESTIONS = 150
+ERROR_RATE = 0.45
+GOLD = "SELECT AVG(salary) AS avg_salary FROM emp WHERE dept = 'x'"
+
+
+def make_database() -> Database:
+    db = Database()
+    db.execute("CREATE TABLE emp (id INT PRIMARY KEY, dept TEXT, salary FLOAT)")
+    rows = ", ".join(
+        f"({i}, '{'xyzw'[i % 4]}', {40.0 + 9 * (i % 13)})" for i in range(1, 41)
+    )
+    db.execute(f"INSERT INTO emp VALUES {rows}")
+    return db
+
+
+@pytest.fixture(scope="module")
+def observations():
+    db = make_database()
+    llm = SimulatedLLM(db.catalog, error_rate=ERROR_RATE, seed=123)
+    uq = ConsistencyUQ(db)
+    verifier = AnswerVerifier(db)
+    self_conf, cons_conf, verified_conf, correct = [], [], [], []
+    for index in range(N_QUESTIONS):
+        outputs = llm.generate_sql(f"question {index}", GOLD, n_samples=5)
+        vote = uq.assess(outputs)
+        is_correct = 1.0 if vote.chosen is not None and vote.chosen.is_faithful else 0.0
+        self_conf.append(outputs[0].self_confidence)
+        cons_conf.append(vote.confidence)
+        # Verification gate: a failed provenance check zeroes confidence.
+        gated = vote.confidence
+        if vote.chosen is not None:
+            try:
+                result = db.execute(vote.chosen.sql)
+                if not verifier.verify(result, depth="provenance").passed:
+                    gated = 0.0
+            except Exception:  # noqa: BLE001
+                gated = 0.0
+        else:
+            gated = 0.0
+        verified_conf.append(gated)
+        correct.append(is_correct)
+    return (
+        np.array(self_conf),
+        np.array(cons_conf),
+        np.array(verified_conf),
+        np.array(correct),
+    )
+
+
+def test_e4_risk_coverage(observations, benchmark):
+    self_conf, cons_conf, verified_conf, correct = observations
+    conditions = [
+        ("self_report", self_conf),
+        ("consistency", cons_conf),
+        ("consistency+verify", verified_conf),
+    ]
+    rows = []
+    aurcs = {}
+    for name, confidences in conditions:
+        points = risk_coverage_curve(confidences, correct)
+        aurc = area_under_risk_coverage(points)
+        aurcs[name] = aurc
+        row = [name, f"{aurc:.3f}"]
+        for target in (0.9, 0.7, 0.5):
+            row.append(f"{accuracy_at_coverage(points, target):.2f}")
+        rows.append(row)
+
+    write_results(
+        "e4_abstention",
+        format_table(
+            ["condition", "AURC", "acc@cov0.9", "acc@cov0.7", "acc@cov0.5"],
+            rows,
+            title=(
+                f"E4: selective answering at generator error rate {ERROR_RATE} "
+                f"({N_QUESTIONS} questions; base accuracy "
+                f"{float(np.mean(correct)):.2f})"
+            ),
+        ),
+    )
+
+    benchmark(lambda: risk_coverage_curve(cons_conf, correct))
+
+    # Shape: consistency-based selection strictly dominates self-report;
+    # the verification gate does not hurt (and usually helps).
+    assert aurcs["consistency"] < aurcs["self_report"]
+    assert aurcs["consistency+verify"] <= aurcs["consistency"] + 0.02

@@ -1,0 +1,120 @@
+"""E5 / Tab-C — explanation quality and the cost of provenance capture.
+
+Paper claims (Section 2.2, Explainability): explanations must be
+*lossless* and *invertible*, and the system must pay the runtime cost of
+capturing enough metadata to make that checkable.
+
+Measured on an NL2SQL workload executed three ways:
+
+* ``no_capture``    — lineage capture off (the baseline engine);
+* ``lineage``       — where-provenance on (the default);
+* ``lineage+how``   — N[X] polynomials too.
+
+Reported: losslessness and invertibility pass rates (checked
+mechanically on every answer, possible only with capture on) and the
+runtime overhead factor versus ``no_capture``.
+
+Expected shape: 100% pass rates with capture on; where-lineage costs a
+modest constant factor; how-polynomials cost more (they grow with
+derivation counts) — the price of the strongest explanation.
+"""
+
+from __future__ import annotations
+
+import time
+
+import pytest
+
+from conftest import format_table, write_results
+from repro.benchgen import WorkloadSpec, build_workload
+from repro.provenance import (
+    ExplanationBuilder,
+    check_invertibility,
+    check_losslessness,
+)
+from repro.sqldb.database import Database
+
+N_PER_DOMAIN = 15
+N_DOMAINS = 3
+REPEATS = 3
+
+
+@pytest.fixture(scope="module")
+def workload():
+    return build_workload(
+        WorkloadSpec(
+            n_questions_per_domain=N_PER_DOMAIN, n_domains=N_DOMAINS, seed=55
+        )
+    )
+
+
+def run_queries(workload, capture_lineage, capture_how):
+    """Execute every gold query; returns (elapsed, results, databases)."""
+    started = time.perf_counter()
+    outputs = []
+    for _ in range(REPEATS):
+        outputs.clear()
+        for item in workload.items:
+            database = item.spec.database
+            database.capture_lineage = capture_lineage
+            database.capture_how = capture_how
+            outputs.append((database, database.execute(item.case.gold_sql)))
+    elapsed = (time.perf_counter() - started) / REPEATS
+    # Restore defaults for other benchmarks sharing the workload.
+    for item in workload.items:
+        item.spec.database.capture_lineage = True
+        item.spec.database.capture_how = False
+    return elapsed, outputs
+
+
+def test_e5_provenance_quality_and_overhead(workload, benchmark):
+    base_elapsed, _ = run_queries(workload, capture_lineage=False, capture_how=False)
+    lineage_elapsed, lineage_outputs = run_queries(
+        workload, capture_lineage=True, capture_how=False
+    )
+    how_elapsed, _ = run_queries(workload, capture_lineage=True, capture_how=True)
+
+    lossless_pass = 0
+    invertible_pass = 0
+    for database, result in lineage_outputs:
+        explanation = ExplanationBuilder(database).from_query_result(result)
+        if not check_losslessness(explanation, result):
+            lossless_pass += 1
+        if not check_invertibility(explanation, database):
+            invertible_pass += 1
+    total = len(lineage_outputs)
+
+    rows = [
+        ["no_capture", f"{base_elapsed * 1000:.1f}", "1.00x", "-", "-"],
+        [
+            "lineage",
+            f"{lineage_elapsed * 1000:.1f}",
+            f"{lineage_elapsed / base_elapsed:.2f}x",
+            f"{lossless_pass}/{total}",
+            f"{invertible_pass}/{total}",
+        ],
+        [
+            "lineage+how",
+            f"{how_elapsed * 1000:.1f}",
+            f"{how_elapsed / base_elapsed:.2f}x",
+            f"{lossless_pass}/{total}",
+            f"{invertible_pass}/{total}",
+        ],
+    ]
+    write_results(
+        "e5_provenance",
+        format_table(
+            ["capture mode", "workload ms", "overhead", "lossless", "invertible"],
+            rows,
+            title=f"E5: explanation quality and provenance overhead ({total} queries)",
+        ),
+    )
+
+    # Timed kernel: one provenance-capturing aggregate query.
+    item = workload.items[0]
+    benchmark(lambda: item.spec.database.execute(item.case.gold_sql))
+
+    # Shape: every explanation passes both checks; overhead is bounded.
+    assert lossless_pass == total
+    assert invertible_pass == total
+    assert lineage_elapsed / base_elapsed < 5.0

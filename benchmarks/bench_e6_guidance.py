@@ -1,0 +1,177 @@
+"""E6 / Tab-D — guidance: clarification converts guesses into answers.
+
+Paper claim (P5): guidance supports users "towards correct answers and
+desired insights more efficiently"; Section 3.2 proposes ask-and-refine
+dialogues that integrate user input "in each reasoning stage".
+
+Setup: a purpose-built domain with two structurally identical tables
+(``store_sales`` and ``online_sales``), so questions like "what is the
+total amount of sales" are *irreducibly ambiguous* — no grounding can
+resolve them; only the user knows which channel they mean.  Half the
+goals target each channel; two control goals are unambiguous.
+
+Policies:
+
+* ``never``          — the system commits to its best guess (forced first
+  candidate), the LLM-chat default;
+* ``when_ambiguous`` — ask exactly when grounding reports a tie;
+* ``always``         — confirm every interpretation before answering.
+
+The simulated user answers clarification questions consistently with
+their goal but does not rephrase (a user who could rephrase precisely
+would not need guidance).
+
+Metrics: task success rate and mean user turns.
+
+Expected shape: ``never`` is fastest but wrong on about half the
+ambiguous goals; ``when_ambiguous`` reaches full success for one extra
+turn on ambiguous goals only; ``always`` matches its success while
+spending extra turns on the unambiguous controls too.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from conftest import format_table, write_results
+from repro.core import AnswerKind, CDAEngine, ReliabilityConfig
+from repro.datasets.registry import DataSourceRegistry
+from repro.guidance import SimulatedUser, UserGoal
+from repro.guidance.clarification import ClarificationMode
+from repro.sqldb import Database
+from repro.sqldb.table import Table
+
+POLICIES = ("never", "when_ambiguous", "always")
+
+
+def build_domain() -> DataSourceRegistry:
+    """Two mirrored sales channels: the irreducible-ambiguity domain."""
+    database = Database()
+    registry = DataSourceRegistry(database)
+    channels = {
+        "store_sales": [(1, "north", 120.0), (2, "south", 80.0), (3, "north", 200.0)],
+        "online_sales": [(1, "north", 60.0), (2, "south", 300.0), (3, "south", 90.0)],
+    }
+    for name, rows in channels.items():
+        table = Table.from_records(
+            name,
+            [
+                {"sale_id": sale_id, "region": region, "amount": amount}
+                for sale_id, region, amount in rows
+            ],
+            description=f"{name.replace('_', ' ')} transactions",
+        )
+        registry.register_table(table, description=table.description)
+    staff = Table.from_records(
+        "staff",
+        [{"staff_id": i, "role": role} for i, role in enumerate(["clerk", "manager", "clerk"], 1)],
+        description="store staff directory",
+    )
+    registry.register_table(staff, description=staff.description)
+    return registry
+
+
+def make_goals(registry: DataSourceRegistry) -> list[UserGoal]:
+    db = registry.database
+
+    def gold(sql):
+        return list(db.execute(sql).rows)
+
+    ambiguous = []
+    for channel in ("store_sales", "online_sales"):
+        ambiguous.extend(
+            [
+                UserGoal(
+                    clear_question=f"what is the total amount of {channel.replace('_', ' ')}",
+                    vague_question="what is the total amount of the sales",
+                    gold_sql=f"SELECT SUM(amount) AS sum_amount FROM {channel}",
+                    gold_rows=gold(f"SELECT SUM(amount) AS sum_amount FROM {channel}"),
+                    target_terms=[channel],
+                ),
+                UserGoal(
+                    clear_question=f"how many {channel.replace('_', ' ')} are there",
+                    vague_question="how many sales are there",
+                    gold_sql=f"SELECT COUNT(*) AS count_all FROM {channel}",
+                    gold_rows=gold(f"SELECT COUNT(*) AS count_all FROM {channel}"),
+                    target_terms=[channel],
+                ),
+            ]
+        )
+    controls = [
+        UserGoal(
+            clear_question="how many staff are there",
+            vague_question="how many staff are there",
+            gold_sql="SELECT COUNT(*) AS count_all FROM staff",
+            gold_rows=gold("SELECT COUNT(*) AS count_all FROM staff"),
+            target_terms=["staff"],
+        ),
+        UserGoal(
+            clear_question="what is the average amount of store sales",
+            vague_question="what is the average amount of store sales",
+            gold_sql="SELECT AVG(amount) AS avg_amount FROM store_sales",
+            gold_rows=gold("SELECT AVG(amount) AS avg_amount FROM store_sales"),
+            target_terms=["store_sales"],
+        ),
+    ]
+    return ambiguous + controls
+
+
+def run_dialogue(engine: CDAEngine, user: SimulatedUser):
+    """One-shot dialogue: ask, answer a clarification if posed, judge."""
+    answer = engine.ask(user.opening_question())
+    for _ in range(3):
+        if answer.kind is AnswerKind.CLARIFICATION and answer.clarification:
+            answer = engine.ask(user.answer_clarification(answer.clarification))
+        else:
+            break
+    if answer.kind is AnswerKind.DATA:
+        return user.judge_answer(answer.rows), user.turns_spoken
+    return False, user.turns_spoken
+
+
+def run_policy(policy: str):
+    successes = 0
+    turns = []
+    registry_template = build_domain()
+    goals = make_goals(registry_template)
+    for goal in goals:
+        registry = build_domain()
+        config = ReliabilityConfig(clarification_mode=ClarificationMode(policy))
+        engine = CDAEngine(registry, config=config)
+        user = SimulatedUser(goal, ambiguous_opening=True, patience=5)
+        success, spoken = run_dialogue(engine, user)
+        successes += 1 if success else 0
+        turns.append(spoken)
+    return successes / len(goals), sum(turns) / len(turns)
+
+
+def test_e6_guided_dialogues(benchmark):
+    rows = []
+    stats = {}
+    for policy in POLICIES:
+        success, turns = run_policy(policy)
+        stats[policy] = (success, turns)
+        rows.append([policy, f"{success:.2f}", f"{turns:.1f}"])
+
+    write_results(
+        "e6_guidance",
+        format_table(
+            ["clarification policy", "success rate", "mean user turns"],
+            rows,
+            title=(
+                "E6: dialogues over irreducibly-ambiguous questions "
+                "(4 ambiguous + 2 control goals)"
+            ),
+        ),
+    )
+
+    registry = build_domain()
+    engine = CDAEngine(registry)
+    benchmark(lambda: engine.ask("how many staff are there"))
+
+    # Shape: asking resolves what guessing cannot; always-ask pays extra
+    # turns for the same success.
+    assert stats["when_ambiguous"][0] > stats["never"][0]
+    assert stats["when_ambiguous"][0] == stats["always"][0]
+    assert stats["never"][1] < stats["when_ambiguous"][1]
+    assert stats["when_ambiguous"][1] < stats["always"][1]

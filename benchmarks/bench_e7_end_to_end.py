@@ -1,0 +1,130 @@
+"""E7 / Fig-C — end-to-end reliability: the headline experiment.
+
+Paper claim (Sections 1 and 4): "relying on LLMs alone is not
+sufficient"; the full CDA pipeline — grounding + constrained decoding +
+consistency UQ + verification + abstention — contains an unreliable
+generator.
+
+Sweep the simulated LLM's error rate; conditions:
+
+* ``llm_only``   — :meth:`ReliabilityConfig.llm_only`: one free sample,
+  no validation, no verification, never abstains;
+* ``+grounding`` — grounded parser first, LLM fallback unguarded;
+* ``full_cda``   — everything on.
+
+Metrics per condition x error rate: answer accuracy (over all
+questions), wrong-answer rate (the reliability failure the paper cares
+about), abstention rate, and the *reliability score*
+``correct - wrong`` (a wrong answer is worse than none).
+
+Expected shape: llm_only accuracy decays linearly with the error rate
+and its wrong-rate grows to dominate; grounding keeps parser-covered
+questions immune; full CDA converts residual wrong answers into
+abstentions — its wrong-rate stays near zero at every error rate, the
+crossover the paper's vision predicts.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from conftest import format_table, write_results
+from repro.benchgen import WorkloadSpec, build_workload, execution_accuracy
+from repro.core import AnswerKind, CDAEngine, ReliabilityConfig
+from repro.datasets.registry import DataSourceRegistry
+from repro.nl import SimulatedLLM
+
+ERROR_RATES = (0.0, 0.3, 0.6, 0.9)
+N_PER_DOMAIN = 12
+CONDITIONS = (
+    ("llm_only", ReliabilityConfig.llm_only()),
+    # Soundness machinery alone (consistency + constrained decoding +
+    # verification + abstention) on the raw LLM path — isolates what P4
+    # buys when P2 cannot help.
+    ("llm+soundness", ReliabilityConfig(use_grounded_parser=False)),
+    ("+grounding", ReliabilityConfig.grounded_no_verify()),
+    ("full_cda", ReliabilityConfig.full()),
+)
+
+
+@pytest.fixture(scope="module")
+def workload():
+    return build_workload(
+        WorkloadSpec(n_questions_per_domain=N_PER_DOMAIN, n_domains=2, seed=88)
+    )
+
+
+def run_cell(workload, config, error_rate):
+    correct = wrong = abstained = 0
+    for item in workload.items:
+        registry = DataSourceRegistry(item.spec.database)
+        llm = SimulatedLLM(
+            item.spec.database.catalog, error_rate=error_rate, seed=202
+        )
+        engine = CDAEngine(registry, config=config, llm=llm)
+        answer = engine.ask(item.case.question, llm_gold_sql=item.case.gold_sql)
+        if answer.kind is AnswerKind.DATA:
+            ordered = item.case.template == "top_n"
+            if execution_accuracy(answer.rows, item.case.gold_rows, ordered=ordered):
+                correct += 1
+            else:
+                wrong += 1
+        else:
+            abstained += 1
+    total = len(workload.items)
+    return correct / total, wrong / total, abstained / total
+
+
+def test_e7_end_to_end_reliability(workload, benchmark):
+    rows = []
+    stats = {}
+    for error_rate in ERROR_RATES:
+        for name, config in CONDITIONS:
+            accuracy, wrong, abstained = run_cell(workload, config, error_rate)
+            reliability = accuracy - wrong
+            stats[(name, error_rate)] = (accuracy, wrong, abstained)
+            rows.append(
+                [
+                    f"{error_rate}",
+                    name,
+                    f"{accuracy:.2f}",
+                    f"{wrong:.2f}",
+                    f"{abstained:.2f}",
+                    f"{reliability:+.2f}",
+                ]
+            )
+
+    write_results(
+        "e7_end_to_end",
+        format_table(
+            ["LLM error rate", "condition", "accuracy", "wrong", "abstained",
+             "reliability (acc-wrong)"],
+            rows,
+            title=(
+                f"E7: end-to-end reliability over {len(workload.items)} "
+                "questions per cell"
+            ),
+        ),
+    )
+
+    item = workload.items[0]
+    registry = DataSourceRegistry(item.spec.database)
+    llm = SimulatedLLM(item.spec.database.catalog, error_rate=0.3, seed=202)
+    engine = CDAEngine(registry, config=ReliabilityConfig.full(), llm=llm)
+    benchmark(
+        lambda: engine.ask(item.case.question, llm_gold_sql=item.case.gold_sql)
+    )
+
+    # Shape assertions (the crossover story).
+    for error_rate in (0.6, 0.9):
+        llm_acc, llm_wrong, _ = stats[("llm_only", error_rate)]
+        cda_acc, cda_wrong, _ = stats[("full_cda", error_rate)]
+        assert cda_wrong < llm_wrong  # reliability machinery removes errors
+        assert cda_acc >= llm_acc  # without losing correct answers
+        # Soundness alone converts most wrong answers into abstentions.
+        sound_acc, sound_wrong, sound_abst = stats[("llm+soundness", error_rate)]
+        assert sound_wrong < llm_wrong
+        assert sound_abst > 0
+    # Grounding immunises parser-covered questions even at error 0.9.
+    ground_acc, _w, _a = stats[("+grounding", 0.9)]
+    assert ground_acc >= 0.8

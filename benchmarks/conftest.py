@@ -1,0 +1,42 @@
+"""Shared benchmark infrastructure.
+
+Every benchmark prints its paper-style table *and* writes it to
+``benchmarks/results/<name>.txt`` so EXPERIMENTS.md numbers can be
+regenerated and diffed.  The pytest-benchmark fixture times one
+representative kernel per experiment; the tables carry the actual
+experimental measurements (work counters, accuracies), which are
+machine-independent.
+"""
+
+from __future__ import annotations
+
+from pathlib import Path
+
+RESULTS_DIR = Path(__file__).parent / "results"
+
+
+def write_results(name: str, lines: list[str]) -> None:
+    """Print a results table and persist it under benchmarks/results/."""
+    RESULTS_DIR.mkdir(exist_ok=True)
+    text = "\n".join(lines)
+    print("\n" + text)
+    (RESULTS_DIR / f"{name}.txt").write_text(text + "\n", encoding="utf-8")
+
+
+def format_table(headers: list[str], rows: list[list], title: str = "") -> list[str]:
+    """Fixed-width table rendering."""
+    rendered_rows = [[str(cell) for cell in row] for row in rows]
+    widths = [
+        max(len(headers[i]), *(len(row[i]) for row in rendered_rows))
+        if rendered_rows
+        else len(headers[i])
+        for i in range(len(headers))
+    ]
+    lines: list[str] = []
+    if title:
+        lines.append(title)
+    lines.append("  ".join(header.ljust(width) for header, width in zip(headers, widths)))
+    lines.append("  ".join("-" * width for width in widths))
+    for row in rendered_rows:
+        lines.append("  ".join(cell.ljust(width) for cell, width in zip(row, widths)))
+    return lines

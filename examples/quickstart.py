@@ -1,0 +1,115 @@
+"""Quickstart: build a tiny domain and converse with it reliably.
+
+Run with::
+
+    python examples/quickstart.py
+
+Shows the core loop of the CDA system on your own data: load tables,
+register them as data sources, and ask questions in English.  Every
+answer arrives annotated with a confidence score, a verification verdict,
+and a provenance-backed explanation (the five reliability properties of
+Amer-Yahia et al., EDBT 2025).
+"""
+
+from repro.core import CDAEngine
+from repro.datasets.registry import DataSourceRegistry
+from repro.kg import DomainVocabulary, VocabularyTerm
+from repro.sqldb import Database
+from repro.sqldb.table import Table
+
+
+def build_registry() -> tuple[DataSourceRegistry, DomainVocabulary]:
+    """A two-table project-tracking domain built from plain records."""
+    database = Database()
+    registry = DataSourceRegistry(database)
+
+    projects = Table.from_records(
+        "projects",
+        [
+            {"project_id": 1, "name": "atlas", "team": "platform", "budget": 120.0},
+            {"project_id": 2, "name": "borealis", "team": "ml", "budget": 340.0},
+            {"project_id": 3, "name": "cascade", "team": "platform", "budget": 85.0},
+            {"project_id": 4, "name": "dune", "team": "ml", "budget": 210.0},
+        ],
+        description="Active projects with owning team and budget (kCHF).",
+    )
+    registry.register_table(
+        projects,
+        description=projects.description,
+        topics=["projects", "budget", "teams"],
+    )
+
+    tickets = Table.from_records(
+        "tickets",
+        [
+            {"ticket_id": i, "project_id": 1 + (i % 4), "severity": sev, "hours": h}
+            for i, (sev, h) in enumerate(
+                [
+                    ("high", 12.0), ("low", 2.0), ("medium", 5.0), ("high", 9.0),
+                    ("low", 1.5), ("low", 3.0), ("medium", 6.5), ("high", 14.0),
+                    ("medium", 4.0), ("low", 2.5), ("high", 11.0), ("medium", 7.0),
+                ],
+                start=1,
+            )
+        ],
+        description="Support tickets with severity and effort in hours.",
+    )
+    registry.register_table(
+        tickets,
+        description=tickets.description,
+        topics=["tickets", "support", "effort"],
+    )
+    database.catalog.add_foreign_key("tickets", "project_id", "projects", "project_id")
+
+    vocabulary = DomainVocabulary()
+    vocabulary.add_term(
+        VocabularyTerm(
+            name="projects",
+            synonyms=["initiatives", "workstreams"],
+            schema_bindings=["table:projects"],
+        )
+    )
+    vocabulary.add_term(
+        VocabularyTerm(
+            name="tickets",
+            synonyms=["issues", "bugs", "support requests"],
+            schema_bindings=["table:tickets"],
+        )
+    )
+    return registry, vocabulary
+
+
+def main() -> None:
+    registry, vocabulary = build_registry()
+    engine = CDAEngine(registry, vocabulary)
+
+    questions = [
+        "how many tickets are there",
+        "what is the average hours for each severity",
+        "which team has the highest total budget",
+        "how many issues are there",  # synonym grounding
+        "top 2 projects by budget",
+        "what is the average effort of the frobnicator",  # will abstain
+    ]
+    for question in questions:
+        print("=" * 72)
+        print(f"user: {question}")
+        answer = engine.ask(question)
+        print(f"[{answer.kind.value}]")
+        print(answer.render())
+        if answer.explanation is not None:
+            print("--- explanation ---")
+            print(answer.explanation.to_text())
+        if answer.verification is not None:
+            print(f"--- verification: passed={answer.verification.passed} "
+                  f"({', '.join(answer.verification.checks_run)})")
+    print("=" * 72)
+    print(
+        f"session: {engine.session.questions_asked} questions, "
+        f"{engine.session.answers_given} answered, "
+        f"{engine.session.abstentions} abstained"
+    )
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,11 @@
+"""Legacy setup shim.
+
+The execution environment is offline and has setuptools without ``wheel``,
+so PEP 517 editable installs (which build a wheel) fail.  This shim lets
+``pip install -e . --no-build-isolation --no-use-pep517`` take the classic
+``setup.py develop`` path.  All metadata lives in pyproject.toml.
+"""
+
+from setuptools import setup
+
+setup()

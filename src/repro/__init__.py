@@ -1,0 +1,47 @@
+"""repro — Reliable Conversational Data Analytics.
+
+A full implementation of the CDA system envisioned in "Towards Reliable
+Conversational Data Analytics" (Amer-Yahia et al., EDBT 2025): a
+conversational engine whose answers are grounded (P2), explainable (P3),
+sound (P4), and guided (P5), running on an efficient (P1) retrieval and
+execution substrate built from scratch in this package.
+
+Typical entry point::
+
+    from repro import CDAEngine
+    from repro.datasets import build_swiss_labour_registry
+
+    domain = build_swiss_labour_registry(seed=0)
+    engine = CDAEngine(domain.registry, domain.vocabulary)
+    answer = engine.ask("give me an overview of the working force")
+    print(answer.render())
+
+Subpackages (see DESIGN.md for the full inventory):
+
+``repro.core``       engine, session, answers, reliability configuration
+``repro.sqldb``      SQL engine with native provenance capture
+``repro.vector``     similarity search (exact/IVF/HNSW/LSH/progressive)
+``repro.kg``         triple store, ontology, vocabulary, schema-as-KG
+``repro.nl``         grounded NL2SQL, simulated LLM, constrained decoding
+``repro.provenance`` provenance graphs, semirings, explanations
+``repro.soundness``  consistency UQ, calibration, verification, abstention
+``repro.guidance``   conversation graph, planning, clarification
+``repro.analytics``  decomposition, seasonality, statistics, outliers
+``repro.retrieval``  BM25, dense, hybrid retrieval, dataset discovery
+``repro.datasets``   synthetic data domains with planted ground truth
+``repro.benchgen``   NL2SQL benchmark generation and metrics
+"""
+
+__version__ = "1.0.0"
+
+from repro.core import Answer, AnswerKind, CDAEngine, ReliabilityConfig
+from repro.sqldb import Database
+
+__all__ = [
+    "__version__",
+    "Answer",
+    "AnswerKind",
+    "CDAEngine",
+    "ReliabilityConfig",
+    "Database",
+]

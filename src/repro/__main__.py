@@ -1,0 +1,119 @@
+"""Command-line chat interface: ``python -m repro``.
+
+Converse with one of the bundled synthetic domains::
+
+    python -m repro --domain swiss
+    python -m repro --domain ecommerce --ask "how many orders are there"
+
+Interactive mode reads questions from stdin until EOF/empty line;
+``--ask`` answers one question and exits (script-friendly).  Annotations
+(confidence, sources, suggestions) are printed with every answer, and
+``--show-sql`` / ``--show-explanation`` expose the P3 artefacts.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+
+from repro.core import CDAEngine, ReliabilityConfig
+
+DOMAINS = ("swiss", "ecommerce", "healthcare")
+
+
+def build_engine(domain: str, llm_error_rate: float | None) -> CDAEngine:
+    """Construct the engine for one bundled domain."""
+    if domain == "swiss":
+        from repro.datasets import build_swiss_labour_registry
+
+        bundle = build_swiss_labour_registry(seed=0)
+    elif domain == "ecommerce":
+        from repro.datasets import build_ecommerce_registry
+
+        bundle = build_ecommerce_registry(seed=0)
+    elif domain == "healthcare":
+        from repro.datasets import build_healthcare_registry
+
+        bundle = build_healthcare_registry(seed=0)
+    else:
+        raise SystemExit(f"unknown domain {domain!r}; choose from {DOMAINS}")
+    llm = None
+    if llm_error_rate is not None:
+        from repro.nl import SimulatedLLM
+
+        llm = SimulatedLLM(
+            bundle.registry.database.catalog, error_rate=llm_error_rate
+        )
+    return CDAEngine(
+        bundle.registry,
+        bundle.vocabulary,
+        config=ReliabilityConfig.full(),
+        llm=llm,
+    )
+
+
+def answer_and_print(engine: CDAEngine, question: str, args) -> None:
+    """Ask one question and print the annotated answer."""
+    answer = engine.ask(question)
+    print(f"[{answer.kind.value}]")
+    print(answer.render())
+    if args.show_sql and answer.sql:
+        print(f"SQL: {answer.sql}")
+    if args.show_explanation and answer.explanation is not None:
+        print(answer.explanation.to_text())
+
+
+def main(argv: list[str] | None = None) -> int:
+    """Entry point (exposed for tests)."""
+    parser = argparse.ArgumentParser(
+        prog="python -m repro",
+        description="Reliable Conversational Data Analytics — chat CLI",
+    )
+    parser.add_argument(
+        "--domain", choices=DOMAINS, default="swiss",
+        help="bundled synthetic domain to converse with",
+    )
+    parser.add_argument(
+        "--ask", metavar="QUESTION",
+        help="answer one question and exit (non-interactive)",
+    )
+    parser.add_argument(
+        "--show-sql", action="store_true", help="print the executed SQL"
+    )
+    parser.add_argument(
+        "--show-explanation", action="store_true",
+        help="print the provenance-backed explanation",
+    )
+    parser.add_argument(
+        "--llm-error-rate", type=float, default=None, metavar="EPS",
+        help="attach a simulated LLM fallback with this hallucination rate",
+    )
+    args = parser.parse_args(argv)
+    engine = build_engine(args.domain, args.llm_error_rate)
+    if args.ask is not None:
+        answer_and_print(engine, args.ask, args)
+        return 0
+    print(
+        f"Connected to the {args.domain!r} domain "
+        f"({len(engine.registry.sources())} data sources). "
+        "Ask a question, or press Enter on an empty line to quit."
+    )
+    while True:
+        try:
+            line = input("you> ").strip()
+        except EOFError:
+            break
+        if not line:
+            break
+        answer_and_print(engine, line, args)
+    print(
+        f"session: {engine.session.questions_asked} questions, "
+        f"{engine.session.answers_given} answered, "
+        f"{engine.session.abstentions} abstained, "
+        f"{engine.session.clarifications_asked} clarifications"
+    )
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,0 +1,269 @@
+"""Corpus-assisted bias analysis over conversation logs.
+
+Section 3.2 (Grounding): "since conversation logs with real users are
+part of the data sources ... the system needs to counteract the effect
+of any bias present in these logs"; the paper proposes CADS
+(Corpus-Assisted Discourse Studies [2]) combined with sentiment
+analysis [53], with automatic methods for "at least partial, output
+evaluation".
+
+This module implements the quantitative half of that proposal:
+
+* :func:`keyness` — the CADS core: log-odds-ratio keyness with Dirichlet
+  smoothing (Monroe et al.'s "fightin' words" statistic), surfacing the
+  terms most characteristic of one corpus segment against another;
+* :class:`SentimentLexicon` — a small, auditable valence lexicon with
+  negation handling, scoring text in [-1, 1];
+* :class:`BiasAuditor` — the partial automatic evaluation: split a
+  conversation log by the group term each turn mentions, compare
+  sentiment distributions and characteristic vocabulary across groups,
+  and flag disparities above a threshold for *human review* (the paper
+  is explicit that human involvement remains fundamental — the auditor
+  reports evidence, it does not adjudicate).
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass, field
+
+from repro.errors import CDAError
+from repro.vector.embedding import tokenize_text
+
+# A compact valence lexicon: enough to score analytic-conversation logs,
+# small enough to audit by reading.  Values in [-1, 1].
+_DEFAULT_LEXICON: dict[str, float] = {
+    # positive
+    "good": 0.6, "great": 0.8, "excellent": 0.9, "strong": 0.5,
+    "reliable": 0.7, "accurate": 0.6, "helpful": 0.6, "clear": 0.4,
+    "productive": 0.6, "efficient": 0.6, "skilled": 0.6, "qualified": 0.6,
+    "growth": 0.5, "improved": 0.6, "improving": 0.5, "success": 0.7,
+    "successful": 0.7, "gain": 0.4, "gains": 0.4, "best": 0.7,
+    "stable": 0.4, "thriving": 0.8, "competent": 0.6, "capable": 0.6,
+    # negative
+    "bad": -0.6, "poor": -0.6, "terrible": -0.9, "weak": -0.5,
+    "unreliable": -0.7, "inaccurate": -0.6, "useless": -0.8,
+    "decline": -0.5, "declining": -0.5, "failure": -0.7, "failing": -0.7,
+    "loss": -0.4, "losses": -0.4, "worst": -0.8, "unstable": -0.5,
+    "lazy": -0.7, "unqualified": -0.7, "incompetent": -0.8,
+    "problem": -0.4, "problems": -0.4, "crisis": -0.7, "burden": -0.6,
+    "costly": -0.4, "risky": -0.4, "struggling": -0.6,
+}
+
+_NEGATIONS = frozenset({"not", "no", "never", "hardly", "without"})
+
+
+class SentimentLexicon:
+    """Lexicon-based sentiment scoring with one-token negation scope."""
+
+    def __init__(self, lexicon: dict[str, float] | None = None):
+        self._lexicon = dict(_DEFAULT_LEXICON if lexicon is None else lexicon)
+        for word, value in self._lexicon.items():
+            if not (-1.0 <= value <= 1.0):
+                raise CDAError(f"valence of {word!r} must be in [-1, 1]")
+
+    def __contains__(self, word: str) -> bool:
+        return word.lower() in self._lexicon
+
+    def add(self, word: str, valence: float) -> None:
+        """Extend the lexicon (domain-specific terms)."""
+        if not (-1.0 <= valence <= 1.0):
+            raise CDAError("valence must be in [-1, 1]")
+        self._lexicon[word.lower()] = valence
+
+    def score(self, text: str) -> float:
+        """Mean valence of matched tokens in [-1, 1]; 0 when none match.
+
+        A negation word directly before a valenced token flips its sign —
+        "not reliable" scores like "unreliable".
+        """
+        tokens = tokenize_text(text)
+        values: list[float] = []
+        for position, token in enumerate(tokens):
+            valence = self._lexicon.get(token)
+            if valence is None:
+                continue
+            if position > 0 and tokens[position - 1] in _NEGATIONS:
+                valence = -valence
+            values.append(valence)
+        if not values:
+            return 0.0
+        return sum(values) / len(values)
+
+
+@dataclass
+class KeynessResult:
+    """One term's keyness between two corpus segments."""
+
+    term: str
+    z_score: float  # positive: characteristic of corpus A
+    count_a: int
+    count_b: int
+
+
+def keyness(
+    corpus_a: list[str],
+    corpus_b: list[str],
+    alpha: float = 0.1,
+    min_count: int = 2,
+) -> list[KeynessResult]:
+    """Log-odds-ratio keyness with Dirichlet smoothing (CADS core).
+
+    Returns terms sorted by |z|, positive z meaning over-represented in
+    ``corpus_a``.  ``alpha`` is the per-term smoothing pseudo-count.
+    """
+    if not corpus_a or not corpus_b:
+        raise CDAError("both corpora must be non-empty")
+    counts_a: dict[str, int] = {}
+    counts_b: dict[str, int] = {}
+    for text in corpus_a:
+        for token in tokenize_text(text):
+            counts_a[token] = counts_a.get(token, 0) + 1
+    for text in corpus_b:
+        for token in tokenize_text(text):
+            counts_b[token] = counts_b.get(token, 0) + 1
+    total_a = sum(counts_a.values())
+    total_b = sum(counts_b.values())
+    vocabulary = set(counts_a) | set(counts_b)
+    alpha_total = alpha * len(vocabulary)
+    results: list[KeynessResult] = []
+    for term in vocabulary:
+        count_a = counts_a.get(term, 0)
+        count_b = counts_b.get(term, 0)
+        if count_a + count_b < min_count:
+            continue
+        # Log-odds with Dirichlet prior (Monroe et al. 2008).
+        odds_a = (count_a + alpha) / (total_a + alpha_total - count_a - alpha)
+        odds_b = (count_b + alpha) / (total_b + alpha_total - count_b - alpha)
+        delta = math.log(odds_a) - math.log(odds_b)
+        variance = 1.0 / (count_a + alpha) + 1.0 / (count_b + alpha)
+        results.append(
+            KeynessResult(
+                term=term,
+                z_score=delta / math.sqrt(variance),
+                count_a=count_a,
+                count_b=count_b,
+            )
+        )
+    results.sort(key=lambda item: (-abs(item.z_score), item.term))
+    return results
+
+
+@dataclass
+class GroupReport:
+    """Evidence collected for one group term."""
+
+    group: str
+    n_turns: int
+    mean_sentiment: float
+    characteristic_terms: list[str] = field(default_factory=list)
+
+
+@dataclass
+class BiasFinding:
+    """A disparity flagged for human review."""
+
+    group_low: str
+    group_high: str
+    sentiment_gap: float
+    evidence: str
+
+    def describe(self) -> str:
+        return (
+            f"turns mentioning {self.group_low!r} carry sentiment "
+            f"{self.sentiment_gap:.2f} below turns mentioning "
+            f"{self.group_high!r}; {self.evidence} — flagged for human review"
+        )
+
+
+class BiasAuditor:
+    """Automatic (partial) bias evaluation over a conversation log.
+
+    ``group_terms`` name the populations of interest (e.g. cantons,
+    customer segments, demographic descriptors).  The auditor never
+    edits or suppresses anything — it measures and reports, leaving the
+    qualitative judgment to people, per the paper.
+    """
+
+    def __init__(
+        self,
+        group_terms: list[str],
+        lexicon: SentimentLexicon | None = None,
+        sentiment_gap_threshold: float = 0.3,
+        min_turns_per_group: int = 3,
+    ):
+        if not group_terms:
+            raise CDAError("need at least one group term to audit")
+        self.group_terms = [term.lower() for term in group_terms]
+        self.lexicon = lexicon if lexicon is not None else SentimentLexicon()
+        self.sentiment_gap_threshold = sentiment_gap_threshold
+        self.min_turns_per_group = min_turns_per_group
+
+    def _split_by_group(self, turns: list[str]) -> dict[str, list[str]]:
+        segments: dict[str, list[str]] = {term: [] for term in self.group_terms}
+        for turn in turns:
+            tokens = set(tokenize_text(turn))
+            for term in self.group_terms:
+                if term in tokens:
+                    segments[term].append(turn)
+        return segments
+
+    def group_reports(self, turns: list[str]) -> list[GroupReport]:
+        """Per-group sentiment and characteristic vocabulary."""
+        segments = self._split_by_group(turns)
+        reports: list[GroupReport] = []
+        for term, segment in segments.items():
+            if not segment:
+                continue
+            rest = [
+                turn
+                for other, other_segment in segments.items()
+                if other != term
+                for turn in other_segment
+            ]
+            characteristic: list[str] = []
+            if segment and rest:
+                characteristic = [
+                    result.term
+                    for result in keyness(segment, rest)[:5]
+                    if result.z_score > 1.5 and result.term != term
+                ]
+            sentiments = [self.lexicon.score(turn) for turn in segment]
+            reports.append(
+                GroupReport(
+                    group=term,
+                    n_turns=len(segment),
+                    mean_sentiment=sum(sentiments) / len(sentiments),
+                    characteristic_terms=characteristic,
+                )
+            )
+        return reports
+
+    def audit(self, turns: list[str]) -> list[BiasFinding]:
+        """Flag group pairs whose sentiment gap exceeds the threshold."""
+        reports = [
+            report
+            for report in self.group_reports(turns)
+            if report.n_turns >= self.min_turns_per_group
+        ]
+        findings: list[BiasFinding] = []
+        for low in reports:
+            for high in reports:
+                if low.group == high.group:
+                    continue
+                gap = high.mean_sentiment - low.mean_sentiment
+                if gap >= self.sentiment_gap_threshold:
+                    evidence = (
+                        f"characteristic terms near {low.group!r}: "
+                        f"{', '.join(low.characteristic_terms) or 'none'}"
+                    )
+                    findings.append(
+                        BiasFinding(
+                            group_low=low.group,
+                            group_high=high.group,
+                            sentiment_gap=gap,
+                            evidence=evidence,
+                        )
+                    )
+        findings.sort(key=lambda f: -f.sentiment_gap)
+        return findings

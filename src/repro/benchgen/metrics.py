@@ -1,0 +1,87 @@
+"""Evaluation metrics.
+
+The prediction/ranking metrics Section 3.2 (Evaluation) lists as "still
+relevant": execution accuracy and exact-match for NL2SQL, MRR and NDCG
+for ranking, recall for retrieval.  All implementations are small and
+directly testable against hand-computed values.
+"""
+
+from __future__ import annotations
+
+import math
+
+from repro.sqldb.parser import parse_sql
+
+
+def execution_accuracy(predicted_rows, gold_rows, ordered: bool = False) -> bool:
+    """Whether two result sets denote the same answer.
+
+    Default comparison is order-insensitive (most analytical questions do
+    not fix an order); pass ``ordered=True`` for top-k style questions.
+    """
+    if predicted_rows is None:
+        return False
+    predicted = [tuple(row) for row in predicted_rows]
+    gold = [tuple(row) for row in gold_rows]
+    if ordered:
+        return predicted == gold
+    return sorted(map(repr, predicted)) == sorted(map(repr, gold))
+
+
+def exact_match(predicted_sql: str, gold_sql: str) -> bool:
+    """Whether two SQL strings parse to the same canonical statement."""
+    try:
+        predicted = parse_sql(predicted_sql)
+        gold = parse_sql(gold_sql)
+    except Exception:  # noqa: BLE001 - unparseable = no match
+        return False
+    return predicted.to_sql() == gold.to_sql()
+
+
+def mean_reciprocal_rank(rankings: list[list], relevant: list[set]) -> float:
+    """MRR over queries: 1/rank of the first relevant hit (0 if none)."""
+    if len(rankings) != len(relevant) or not rankings:
+        raise ValueError("rankings and relevance sets must align and be non-empty")
+    total = 0.0
+    for ranking, relevant_set in zip(rankings, relevant):
+        for position, item in enumerate(ranking, start=1):
+            if item in relevant_set:
+                total += 1.0 / position
+                break
+    return total / len(rankings)
+
+
+def ndcg_at_k(ranking: list, relevance: dict, k: int) -> float:
+    """NDCG@k with graded relevance (missing items grade 0)."""
+    if k <= 0:
+        raise ValueError("k must be positive")
+    dcg = 0.0
+    for position, item in enumerate(ranking[:k], start=1):
+        gain = float(relevance.get(item, 0.0))
+        dcg += (2.0 ** gain - 1.0) / math.log2(position + 1)
+    ideal_gains = sorted(relevance.values(), reverse=True)[:k]
+    idcg = sum(
+        (2.0 ** float(gain) - 1.0) / math.log2(position + 1)
+        for position, gain in enumerate(ideal_gains, start=1)
+    )
+    if idcg == 0.0:
+        return 0.0
+    return dcg / idcg
+
+
+def mean_ndcg_at_k(rankings: list[list], relevances: list[dict], k: int) -> float:
+    """Mean NDCG@k over queries."""
+    if len(rankings) != len(relevances) or not rankings:
+        raise ValueError("rankings and relevances must align and be non-empty")
+    return sum(
+        ndcg_at_k(ranking, relevance, k)
+        for ranking, relevance in zip(rankings, relevances)
+    ) / len(rankings)
+
+
+def recall_at_k(ranking: list, relevant: set, k: int) -> float:
+    """Fraction of relevant items inside the top-k."""
+    if not relevant:
+        return 1.0
+    top = set(ranking[:k])
+    return len(top & relevant) / len(relevant)

@@ -1,0 +1,176 @@
+"""Random multi-domain schema + data generation.
+
+Each generated database has one *entity* (fact) table and one *category*
+(dimension) table FK-linked to it, instantiated from a pool of domain
+archetypes (fleet, logistics, education, ...) so questions read like
+real analytics questions rather than ``t1.c3``.  All names, values, and
+sizes are drawn from an explicit RNG.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro.sqldb.database import Database
+from repro.sqldb.table import Table
+from repro.sqldb.types import Column, ColumnType, Schema
+
+#: Domain archetypes: entity table, category column, measures, categories.
+ARCHETYPES: list[dict] = [
+    {
+        "domain": "fleet",
+        "entity": "vehicles",
+        "category_column": "depot",
+        "categories": ["north", "south", "east", "west"],
+        "text_column": "model",
+        "text_values": ["hauler", "runner", "carrier", "shuttle", "lifter"],
+        "measures": [("mileage", 5_000, 250_000), ("capacity", 2, 40)],
+        "dimension": "depots",
+        "dimension_measures": [("staff", 5, 80), ("bays", 2, 25)],
+    },
+    {
+        "domain": "logistics",
+        "entity": "shipments",
+        "category_column": "route",
+        "categories": ["alpine", "coastal", "urban", "express"],
+        "text_column": "status",
+        "text_values": ["delivered", "pending", "delayed", "returned"],
+        "measures": [("weight", 1, 2_000), ("distance", 10, 3_000)],
+        "dimension": "routes",
+        "dimension_measures": [("tolls", 0, 120), ("hubs", 1, 9)],
+    },
+    {
+        "domain": "education",
+        "entity": "students",
+        "category_column": "faculty",
+        "categories": ["science", "arts", "medicine", "law"],
+        "text_column": "status",
+        "text_values": ["enrolled", "graduated", "paused"],
+        "measures": [("credits", 0, 180), ("grade", 1, 6)],
+        "dimension": "faculties",
+        "dimension_measures": [("professors", 10, 200), ("labs", 0, 30)],
+    },
+    {
+        "domain": "energy",
+        "entity": "plants",
+        "category_column": "fuel",
+        "categories": ["solar", "wind", "hydro", "gas"],
+        "text_column": "operator",
+        "text_values": ["alpenergy", "voltara", "helios", "gridco"],
+        "measures": [("output", 5, 900), ("uptime", 40, 100)],
+        "dimension": "fuels",
+        "dimension_measures": [("price", 10, 90), ("emissions", 0, 500)],
+    },
+    {
+        "domain": "library",
+        "entity": "books",
+        "category_column": "genre",
+        "categories": ["fiction", "history", "science", "poetry"],
+        "text_column": "language",
+        "text_values": ["english", "german", "french", "italian"],
+        "measures": [("pages", 40, 1200), ("loans", 0, 300)],
+        "dimension": "genres",
+        "dimension_measures": [("shelves", 1, 40), ("budget", 500, 20_000)],
+    },
+]
+
+
+@dataclass
+class SchemaSpec:
+    """The generated database plus the facts question templates need."""
+
+    database: Database
+    domain: str
+    entity_table: str
+    dimension_table: str
+    category_column: str
+    text_column: str
+    text_values: list[str]
+    categories: list[str]
+    measures: list[str]
+    dimension_measures: list[str] = field(default_factory=list)
+
+
+def generate_random_database(
+    rng: np.random.Generator,
+    n_rows: int = 120,
+    archetype_index: int | None = None,
+) -> SchemaSpec:
+    """Generate one populated two-table database from an archetype."""
+    if archetype_index is None:
+        archetype_index = int(rng.integers(0, len(ARCHETYPES)))
+    archetype = ARCHETYPES[archetype_index % len(ARCHETYPES)]
+    database = Database()
+
+    measures = [name for name, _low, _high in archetype["measures"]]
+    entity_columns = [
+        Column("id", ColumnType.INTEGER, nullable=False),
+        Column(archetype["category_column"], ColumnType.TEXT, nullable=False,
+               description=f"the {archetype['category_column']} of the "
+                           f"{archetype['entity']}"),
+        Column(archetype["text_column"], ColumnType.TEXT, nullable=False,
+               description=f"{archetype['text_column']} label"),
+    ]
+    for name, _low, _high in archetype["measures"]:
+        entity_columns.append(
+            Column(name, ColumnType.FLOAT, nullable=False,
+                   description=f"measured {name}")
+        )
+    entity = Table(
+        name=archetype["entity"],
+        schema=Schema(columns=entity_columns),
+        description=f"{archetype['domain']} records of {archetype['entity']}",
+    )
+    entity.set_primary_key("id")
+    for row_id in range(1, n_rows + 1):
+        row: list = [
+            row_id,
+            archetype["categories"][int(rng.integers(0, len(archetype["categories"])))],
+            archetype["text_values"][int(rng.integers(0, len(archetype["text_values"])))],
+        ]
+        for _name, low, high in archetype["measures"]:
+            row.append(round(float(rng.uniform(low, high)), 2))
+        entity.insert(row)
+    database.add_table(entity)
+
+    dimension_measures = [name for name, _low, _high in archetype["dimension_measures"]]
+    dimension_columns = [
+        Column(archetype["category_column"], ColumnType.TEXT, nullable=False),
+    ]
+    for name, _low, _high in archetype["dimension_measures"]:
+        dimension_columns.append(
+            Column(name, ColumnType.FLOAT, nullable=False,
+                   description=f"{name} of the {archetype['category_column']}")
+        )
+    dimension = Table(
+        name=archetype["dimension"],
+        schema=Schema(columns=dimension_columns),
+        description=f"per-{archetype['category_column']} metadata",
+    )
+    dimension.set_primary_key(archetype["category_column"])
+    for category in archetype["categories"]:
+        row = [category]
+        for _name, low, high in archetype["dimension_measures"]:
+            row.append(round(float(rng.uniform(low, high)), 2))
+        dimension.insert(row)
+    database.add_table(dimension)
+    database.catalog.add_foreign_key(
+        archetype["entity"],
+        archetype["category_column"],
+        archetype["dimension"],
+        archetype["category_column"],
+    )
+    return SchemaSpec(
+        database=database,
+        domain=archetype["domain"],
+        entity_table=archetype["entity"],
+        dimension_table=archetype["dimension"],
+        category_column=archetype["category_column"],
+        text_column=archetype["text_column"],
+        text_values=list(archetype["text_values"]),
+        categories=list(archetype["categories"]),
+        measures=measures,
+        dimension_measures=dimension_measures,
+    )

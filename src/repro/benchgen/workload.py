@@ -1,0 +1,80 @@
+"""Workload construction: domains x templates x noise, fully seeded.
+
+A :class:`WorkloadSpec` describes an experiment's question set;``
+build_workload`` materialises it — generating the databases, the cases,
+and the paraphrased question surface each condition will actually see.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro.benchgen.question_gen import QuestionCase, QuestionGenerator
+from repro.benchgen.schema_gen import ARCHETYPES, SchemaSpec, generate_random_database
+from repro.nl.paraphrase import ParaphraseGenerator
+
+
+@dataclass
+class WorkloadSpec:
+    """Parameters of a benchmark workload."""
+
+    n_questions_per_domain: int = 20
+    n_domains: int = 3
+    n_rows: int = 120
+    paraphrase_strength: float = 0.0
+    templates: list[str] | None = None
+    seed: int = 0
+
+
+@dataclass
+class WorkloadItem:
+    """One case bound to its domain database."""
+
+    case: QuestionCase
+    spec: SchemaSpec
+    #: The (possibly noised) question the system under test receives.
+    surface_question: str
+
+
+@dataclass
+class Workload:
+    """A materialised workload."""
+
+    items: list[WorkloadItem] = field(default_factory=list)
+    spec: WorkloadSpec | None = None
+
+    def __len__(self) -> int:
+        return len(self.items)
+
+    def by_template(self) -> dict[str, list[WorkloadItem]]:
+        """Group items by question template (for breakdown tables)."""
+        groups: dict[str, list[WorkloadItem]] = {}
+        for item in self.items:
+            groups.setdefault(item.case.template, []).append(item)
+        return groups
+
+
+def build_workload(spec: WorkloadSpec) -> Workload:
+    """Materialise ``spec`` deterministically."""
+    rng = np.random.default_rng(spec.seed)
+    paraphraser = ParaphraseGenerator(rng=np.random.default_rng(spec.seed + 1))
+    items: list[WorkloadItem] = []
+    n_domains = min(spec.n_domains, len(ARCHETYPES))
+    for domain_index in range(n_domains):
+        schema = generate_random_database(
+            rng, n_rows=spec.n_rows, archetype_index=domain_index
+        )
+        generator = QuestionGenerator(schema, rng)
+        cases = generator.generate_many(
+            spec.n_questions_per_domain, templates=spec.templates
+        )
+        for case in cases:
+            surface = paraphraser.paraphrase(
+                case.question, strength=spec.paraphrase_strength
+            )
+            items.append(
+                WorkloadItem(case=case, spec=schema, surface_question=surface)
+            )
+    return Workload(items=items, spec=spec)

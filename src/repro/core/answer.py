@@ -1,0 +1,72 @@
+"""The annotated answer object (data layer ``e`` of Figure 1).
+
+Every system turn is an :class:`Answer`: the prose, the data (when any),
+the confidence with its breakdown, the provenance-backed explanation, the
+verification report, and the proactive suggestions — "answer, confidence
+score, and provenance data" as one value.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass, field
+
+from repro.guidance.clarification import ClarificationQuestion
+from repro.guidance.suggestions import Suggestion
+from repro.nl.grammar import QueryIntent
+from repro.provenance.explanation import Explanation
+from repro.soundness.confidence import ConfidenceBreakdown
+from repro.soundness.verifier import VerificationReport
+
+
+class AnswerKind(enum.Enum):
+    """What kind of system turn this answer is."""
+
+    DATA = "data"  # computed from structured data
+    ANALYSIS = "analysis"  # statistical analysis result
+    DISCOVERY = "discovery"  # dataset suggestions
+    METADATA = "metadata"  # source/description answer
+    CLARIFICATION = "clarification"  # the system asks back
+    ABSTENTION = "abstention"  # the system declines to answer
+    CHITCHAT = "chitchat"  # non-analytical pleasantry
+    ERROR = "error"  # something failed and the system says so
+
+
+@dataclass
+class Answer:
+    """One fully-annotated system turn."""
+
+    kind: AnswerKind
+    text: str
+    confidence: ConfidenceBreakdown | None = None
+    rows: list[tuple] | None = None
+    columns: list[str] | None = None
+    sql: str | None = None
+    intent: QueryIntent | None = None
+    explanation: Explanation | None = None
+    verification: VerificationReport | None = None
+    clarification: ClarificationQuestion | None = None
+    suggestions: list[Suggestion] = field(default_factory=list)
+    sources: list[str] = field(default_factory=list)
+    metadata: dict = field(default_factory=dict)
+
+    @property
+    def answered(self) -> bool:
+        """Whether this turn delivers content (vs. asks/abstains/errors)."""
+        return self.kind in (
+            AnswerKind.DATA,
+            AnswerKind.ANALYSIS,
+            AnswerKind.DISCOVERY,
+            AnswerKind.METADATA,
+        )
+
+    def render(self, show_confidence: bool = True, show_sources: bool = True) -> str:
+        """The full user-facing text with annotations."""
+        parts = [self.text]
+        if show_sources and self.sources:
+            parts.append("Source: " + "; ".join(self.sources))
+        if show_confidence and self.confidence is not None:
+            parts.append(f"Confidence: {self.confidence.value:.0%}")
+        for suggestion in self.suggestions:
+            parts.append(f"Suggestion: {suggestion.text}")
+        return "\n".join(parts)

@@ -1,0 +1,96 @@
+"""Reliability configuration: each property is a switch.
+
+The E7 benchmark's conditions are literally instances of this class —
+``llm_only()`` with everything off, ``full()`` with everything on, and
+the intermediate ablations.  Keeping the switches in one object also
+documents, in code, exactly which machinery each property corresponds to.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.guidance.clarification import ClarificationMode
+from repro.nl.nl2sql import GroundingConfig
+
+
+@dataclass
+class ReliabilityConfig:
+    """Which reliability machinery the engine runs per question."""
+
+    # P2 Grounding ------------------------------------------------------------
+    #: Use the grounded semantic parser (vocabulary + schema KG + values).
+    use_grounded_parser: bool = True
+    grounding: GroundingConfig = field(default_factory=GroundingConfig)
+
+    # NL model ----------------------------------------------------------------
+    #: Fall back to the (simulated) LLM when the parser cannot translate.
+    use_llm_fallback: bool = True
+    #: Samples drawn for consistency-based UQ (1 disables the vote).
+    consistency_samples: int = 5
+    #: Reject candidates that fail static validation (constrained decoding).
+    use_constrained_decoding: bool = True
+
+    # P1 Efficiency -----------------------------------------------------------------
+    #: Entries in the versioned query cache (None disables caching).
+    query_cache_size: int | None = 256
+
+    # P3 Explainability ----------------------------------------------------------
+    #: Attach a provenance-backed explanation to every data answer.
+    attach_explanations: bool = True
+
+    # P4 Soundness ------------------------------------------------------------------
+    #: Verification depth: "none" | "static" | "reexecution" | "provenance".
+    verification_depth: str = "provenance"
+    #: Abstain when fused confidence falls below this threshold.
+    abstention_threshold: float = 0.5
+    #: Whether abstention is allowed at all (off = always answer).
+    allow_abstention: bool = True
+
+    # P5 Guidance -----------------------------------------------------------------------
+    clarification_mode: ClarificationMode = ClarificationMode.WHEN_AMBIGUOUS
+    #: Offer proactive suggestions alongside answers.
+    offer_suggestions: bool = True
+    #: Adapt verbosity to the inferred user expertise.
+    adapt_to_expertise: bool = True
+
+    # -- presets ------------------------------------------------------------------------
+
+    @classmethod
+    def full(cls) -> "ReliabilityConfig":
+        """Everything on — the reliable CDA system of the paper."""
+        return cls()
+
+    @classmethod
+    def llm_only(cls) -> "ReliabilityConfig":
+        """The baseline the paper argues against: generate and hope."""
+        return cls(
+            use_grounded_parser=False,
+            use_llm_fallback=True,
+            consistency_samples=1,
+            use_constrained_decoding=False,
+            attach_explanations=False,
+            verification_depth="none",
+            allow_abstention=False,
+            clarification_mode=ClarificationMode.NEVER,
+            offer_suggestions=False,
+            adapt_to_expertise=False,
+        )
+
+    @classmethod
+    def grounded_no_verify(cls) -> "ReliabilityConfig":
+        """Grounding on, soundness machinery off (E7 intermediate)."""
+        return cls(
+            verification_depth="none",
+            allow_abstention=False,
+            consistency_samples=1,
+            clarification_mode=ClarificationMode.NEVER,
+        )
+
+    @classmethod
+    def no_guidance(cls) -> "ReliabilityConfig":
+        """Full soundness but never asks or suggests (E6 baseline)."""
+        return cls(
+            clarification_mode=ClarificationMode.NEVER,
+            offer_suggestions=False,
+        )

@@ -1,0 +1,836 @@
+"""The CDA engine: every user turn goes through here.
+
+``CDAEngine.ask(text)`` is the whole system of Figure 1 behind one
+method: intent routing, grounding, translation (grounded parser first,
+LLM fallback with constrained decoding and consistency UQ), execution
+with provenance, verification, confidence fusion, abstention,
+clarification, explanation, and proactive suggestions — each piece
+switchable through :class:`~repro.core.config.ReliabilityConfig`.
+"""
+
+from __future__ import annotations
+
+from repro.core.answer import Answer, AnswerKind
+from repro.core.config import ReliabilityConfig
+from repro.core.session import Session
+from repro.datasets.registry import DataSourceRegistry
+from repro.errors import (
+    AmbiguousQuestionError,
+    CDAError,
+    TranslationError,
+)
+from repro.guidance.clarification import ClarificationPolicy
+from repro.guidance.conversation_graph import TurnKind
+from repro.guidance.planner import ConversationPlanner
+from repro.guidance.suggestions import SuggestionEngine
+from repro.kg.schema_kg import SchemaKnowledgeGraph
+from repro.kg.vocabulary import DomainVocabulary
+from repro.nl.constrained import ConstrainedDecoder, SQLValidator
+from repro.nl.generation import AnswerGenerator
+from repro.nl.intent import IntentKind, classify_intent
+from repro.nl.llmsim import LLMOutput, SimulatedLLM
+from repro.nl.nl2sql import GroundedSemanticParser, ParseOutcome
+from repro.provenance.explanation import ExplanationBuilder
+from repro.provenance.model import ProvenanceNodeKind
+from repro.retrieval.dataset_search import DatasetSearchEngine
+from repro.retrieval.hybrid import HybridRetriever
+from repro.soundness.abstention import SelectiveAnsweringPolicy
+from repro.soundness.confidence import ConfidenceBreakdown, fuse_confidence
+from repro.soundness.consistency import ConsistencyUQ
+from repro.soundness.verifier import AnswerVerifier
+from repro.sqldb.database import QueryResult
+from repro.sqldb.types import ColumnType
+from repro.analytics.seasonality import detect_seasonality
+from repro.analytics.timeseries import InsufficientDataError, decompose
+from repro.analytics.outliers import iqr_outliers
+
+
+class CDAEngine:
+    """The reliable Conversational Data Analytics system."""
+
+    def __init__(
+        self,
+        registry: DataSourceRegistry,
+        vocabulary: DomainVocabulary | None = None,
+        config: ReliabilityConfig | None = None,
+        llm: SimulatedLLM | None = None,
+    ):
+        self.registry = registry
+        self.database = registry.database
+        self.vocabulary = vocabulary
+        self.config = config or ReliabilityConfig.full()
+        if self.config.query_cache_size and self.database.cache is None:
+            from repro.sqldb.cache import QueryCache
+
+            self.database.cache = QueryCache(
+                max_entries=self.config.query_cache_size
+            )
+        self.llm = llm
+        self.schema_kg = SchemaKnowledgeGraph(self.database.catalog)
+        self.parser = GroundedSemanticParser(
+            self.schema_kg, vocabulary, self.config.grounding
+        )
+        self.search_engine = DatasetSearchEngine(registry, vocabulary)
+        self.doc_retriever = HybridRetriever(registry.documents)
+        self.suggestion_engine = SuggestionEngine(self.schema_kg)
+        self.clarification = ClarificationPolicy(self.config.clarification_mode)
+        self.planner = ConversationPlanner()
+        self.verifier = AnswerVerifier(self.database)
+        self.uq = ConsistencyUQ(self.database)
+        self.validator = SQLValidator(self.database.catalog)
+        self.decoder = ConstrainedDecoder(self.validator)
+        self.generator = AnswerGenerator()
+        self.policy = SelectiveAnsweringPolicy(self.config.abstention_threshold)
+        self.explainer = ExplanationBuilder(self.database)
+        self.session = Session()
+
+    # ------------------------------------------------------------------------------
+    # public API
+    # ------------------------------------------------------------------------------
+
+    def ask(self, text: str, llm_gold_sql: str | None = None) -> Answer:
+        """Process one user turn and return the annotated answer.
+
+        ``llm_gold_sql`` is the oracle query for the *simulated* LLM —
+        benchmarks supply it so the generator's error process can act; it
+        is never consulted by the reliability machinery itself.
+        """
+        if self.session.expecting_clarification_reply:
+            turn_id = self.session.record_user_turn(
+                text, TurnKind.CLARIFICATION_REPLY
+            )
+            return self._handle_clarification_reply(text, turn_id, llm_gold_sql)
+        # Short follow-ups ("and for bern?") refine the previous question
+        # regardless of what the intent classifier would make of them.
+        turn_id = None
+        followup = None
+        if self.session.last_intent is not None:
+            turn_id = self.session.record_user_turn(text, TurnKind.USER_QUESTION)
+            followup = self._try_followup(text, turn_id)
+            if followup is not None:
+                return followup
+        intent = classify_intent(text)
+        if turn_id is None:
+            turn_id = self.session.record_user_turn(text, TurnKind.USER_QUESTION)
+        if intent.kind is IntentKind.DATASET_DISCOVERY:
+            answer = self._handle_discovery(text, turn_id)
+        elif intent.kind is IntentKind.METADATA:
+            answer = self._handle_metadata(text, turn_id)
+        elif intent.kind is IntentKind.ANALYSIS:
+            answer = self._handle_analysis(text, turn_id)
+        elif intent.kind is IntentKind.CHITCHAT:
+            answer = self._chitchat(turn_id)
+        else:
+            answer = self._handle_data_query(text, turn_id, llm_gold_sql)
+        return answer
+
+    # ------------------------------------------------------------------------------
+    # clarification replies
+    # ------------------------------------------------------------------------------
+
+    def _handle_clarification_reply(
+        self, reply: str, turn_id: int, llm_gold_sql: str | None
+    ) -> Answer:
+        pending = self.session.close_clarification()
+        assert pending is not None
+        chosen = self.clarification.resolve_reply(reply, pending.question)
+        if chosen is None:
+            answer = Answer(
+                kind=AnswerKind.CLARIFICATION,
+                text=(
+                    "Sorry, I did not catch which option you meant. "
+                    + pending.question.text
+                ),
+                clarification=pending.question,
+            )
+            self.session.open_clarification(
+                pending.original_question, pending.question, pending.subject
+            )
+            self.session.record_system_turn(
+                answer.text, TurnKind.CLARIFICATION_REQUEST, turn_id
+            )
+            return answer
+        chosen_name = str(chosen).split(".")[-1].replace("table:", "")
+        if pending.subject == "dataset":
+            self.session.focus_table = (
+                chosen_name if chosen_name in self.database.catalog else None
+            )
+            return self._dataset_overview(chosen_name, turn_id)
+        # Table disambiguation: re-run the original question, forcing the
+        # user's pick.
+        return self._handle_data_query(
+            pending.original_question,
+            turn_id,
+            llm_gold_sql,
+            preferred_table=chosen_name,
+        )
+
+    # ------------------------------------------------------------------------------
+    # discovery / metadata / analysis
+    # ------------------------------------------------------------------------------
+
+    def _handle_discovery(self, text: str, turn_id: int) -> Answer:
+        suggestions = self.search_engine.suggestions_for_prose(text, k=3)
+        self.session.tracker.record(
+            component="retrieval",
+            kind=ProvenanceNodeKind.QUERY,
+            description=f"dataset discovery for {text!r}",
+            outputs=[f"dataset:{name}" for name, _d, _s in suggestions],
+        )
+        if not suggestions:
+            answer = Answer(
+                kind=AnswerKind.ABSTENTION,
+                text="I could not find any data source relevant to your question.",
+            )
+            self.session.record_system_turn(answer.text, TurnKind.ABSTENTION, turn_id)
+            return answer
+        prose = self.generator.render_dataset_suggestions(text, suggestions)
+        question = self.clarification.build_question(
+            text, [name for name, _d, _s in suggestions], subject="dataset"
+        )
+        self.session.open_clarification(text, question, subject="dataset")
+        answer = Answer(
+            kind=AnswerKind.DISCOVERY,
+            text=prose,
+            clarification=question,
+            confidence=ConfidenceBreakdown(
+                value=min(1.0, max(score for _n, _d, score in suggestions) * 10),
+                parts={"retrieval": suggestions[0][2]},
+            ),
+            sources=sorted(
+                {
+                    self.registry.info(name).source_url
+                    for name, _d, _s in suggestions
+                    if self.registry.info(name).source_url
+                }
+            ),
+        )
+        self.session.record_system_turn(
+            answer.text, TurnKind.CLARIFICATION_REQUEST, turn_id
+        )
+        return answer
+
+    def _dataset_overview(self, name: str, turn_id: int) -> Answer:
+        """Summarise one data source, with its origin cited (Fig 1 turn 3)."""
+        info = self.registry.info(name)
+        sources = [info.source_url] if info.source_url else []
+        lines = [f"{name.replace('_', ' ').title()}: {info.description}"]
+        if info.kind == "table":
+            table = self.database.catalog.table(name)
+            columns = ", ".join(column.name for column in table.schema)
+            lines.append(f"It has {len(table)} rows with columns: {columns}.")
+        suggestions = (
+            self.suggestion_engine.suggest(
+                name if info.kind == "table" else None,
+                self.session.used_group_columns,
+            )
+            if self.config.offer_suggestions
+            else []
+        )
+        answer = Answer(
+            kind=AnswerKind.METADATA,
+            text="\n".join(lines),
+            sources=sources,
+            suggestions=suggestions,
+            confidence=ConfidenceBreakdown(value=0.95, parts={"registry": 1.0}),
+        )
+        self.session.record_system_turn(answer.text, TurnKind.SYSTEM_ANSWER, turn_id)
+        return answer
+
+    def _handle_metadata(self, text: str, turn_id: int) -> Answer:
+        # Named source? Answer from the registry directly.
+        for info in self.registry.sources():
+            surface = info.name.replace("_", " ").lower()
+            if surface in text.lower():
+                return self._dataset_overview(info.name, turn_id)
+        hits = self.doc_retriever.search(text, k=2)
+        if not hits and self.vocabulary is not None:
+            expansions = []
+            for grounded in self.vocabulary.ground_question(text):
+                expansions.extend(self.vocabulary.expand(grounded.term.name))
+            if expansions:
+                hits = self.doc_retriever.search(text + " " + " ".join(expansions), k=2)
+        if not hits:
+            answer = Answer(
+                kind=AnswerKind.ABSTENTION,
+                text="I have no documentation that answers this.",
+            )
+            self.session.record_system_turn(answer.text, TurnKind.ABSTENTION, turn_id)
+            return answer
+        document = self.registry.documents.get(hits[0].doc_id)
+        self.session.tracker.record(
+            component="retrieval",
+            kind=ProvenanceNodeKind.QUERY,
+            description=f"document lookup for {text!r}",
+            outputs=[f"doc:{document.doc_id}"],
+        )
+        answer = Answer(
+            kind=AnswerKind.METADATA,
+            text=f"{document.title}: {document.snippet(400)}",
+            sources=[document.source] if document.source else [],
+            confidence=ConfidenceBreakdown(
+                value=0.9, parts={"retrieval": hits[0].score}
+            ),
+        )
+        self.session.record_system_turn(answer.text, TurnKind.SYSTEM_ANSWER, turn_id)
+        return answer
+
+    def _handle_analysis(self, text: str, turn_id: int) -> Answer:
+        table_name = self._analysis_target(text)
+        if table_name is None:
+            answer = Answer(
+                kind=AnswerKind.ABSTENTION,
+                text=(
+                    "Which dataset should I analyse? Mention it by name or "
+                    "explore one first."
+                ),
+            )
+            self.session.record_system_turn(answer.text, TurnKind.ABSTENTION, turn_id)
+            return answer
+        series_info = self._time_series_for(table_name)
+        if series_info is None:
+            answer = Answer(
+                kind=AnswerKind.ABSTENTION,
+                text=(
+                    f"The {table_name.replace('_', ' ')} dataset has no "
+                    "time dimension I can analyse for trends or seasonality."
+                ),
+            )
+            self.session.record_system_turn(answer.text, TurnKind.ABSTENTION, turn_id)
+            return answer
+        sql, series, value_label = series_info
+        if "outlier" in text.lower() or "anomal" in text.lower():
+            return self._outlier_answer(table_name, sql, series, value_label, turn_id)
+        result = detect_seasonality(series)
+        lines = []
+        code_lines = [
+            "from repro.analytics import detect_seasonality, decompose",
+            f"series = [row[0] for row in db.execute({sql!r}).rows]",
+            "result = detect_seasonality(series)",
+        ]
+        if result.abstained:
+            lines.append(result.describe())
+            confidence_value = 0.3 if result.sufficient else 0.2
+        else:
+            lines.append(
+                f"Given the statistics of {value_label.replace('_', ' ')}, "
+                + result.describe() + "."
+            )
+            try:
+                decomposition = decompose(series, result.period)
+                lines.append(
+                    "I decomposed the series into trend, seasonality and "
+                    f"residual components: {decomposition.describe()}."
+                )
+                code_lines.append("parts = decompose(series, result.period)")
+            except InsufficientDataError as error:
+                lines.append(
+                    "I did not decompose the series: "
+                    f"only {error.available} observations where "
+                    f"{error.needed} are needed."
+                )
+            confidence_value = result.confidence
+        lines.append("Here is the python snippet that reproduces this analysis:")
+        lines.append("\n".join(code_lines))
+        self.session.tracker.record(
+            component="analytics",
+            kind=ProvenanceNodeKind.COMPUTATION,
+            description=f"seasonality analysis of {table_name}.{value_label}",
+            inputs=[f"dataset:{table_name}"],
+            outputs=[f"answer:{self.session.answers_given}"],
+            metadata={"sql": sql},
+        )
+        answer = Answer(
+            kind=AnswerKind.ANALYSIS,
+            text="\n".join(lines),
+            sql=sql,
+            confidence=ConfidenceBreakdown(
+                value=confidence_value, parts={"analysis": confidence_value}
+            ),
+            sources=[
+                self.registry.info(table_name).source_url
+            ]
+            if table_name in self.registry and self.registry.info(table_name).source_url
+            else [],
+            metadata={"period": result.period, "n_observations": result.n_observations},
+        )
+        self.session.record_system_turn(
+            answer.text, TurnKind.SYSTEM_ANSWER, turn_id, confidence=confidence_value
+        )
+        self.session.focus_table = table_name
+        return answer
+
+    def _outlier_answer(
+        self, table_name: str, sql: str, series: list, value_label: str, turn_id: int
+    ) -> Answer:
+        report = iqr_outliers(series)
+        text = (
+            f"Outlier check on {value_label.replace('_', ' ')} of "
+            f"{table_name.replace('_', ' ')}: {report.describe()}"
+        )
+        answer = Answer(
+            kind=AnswerKind.ANALYSIS,
+            text=text,
+            sql=sql,
+            confidence=ConfidenceBreakdown(value=0.9, parts={"analysis": 0.9}),
+            metadata={"outliers": report.count},
+        )
+        self.session.record_system_turn(answer.text, TurnKind.SYSTEM_ANSWER, turn_id)
+        return answer
+
+    def _analysis_target(self, text: str) -> str | None:
+        lowered = text.lower()
+        for table in self.database.catalog.table_names:
+            if table.replace("_", " ").lower() in lowered:
+                return table
+        if self.vocabulary is not None:
+            for grounded in self.vocabulary.ground_question(lowered):
+                for binding in grounded.term.schema_bindings:
+                    if binding.startswith("table:"):
+                        return binding.split(":", 1)[1]
+        return self.session.focus_table
+
+    _TIME_COLUMN_NAMES = ("month_index", "day_index", "date", "year", "month", "period")
+
+    def _time_series_for(self, table_name: str) -> tuple[str, list, str] | None:
+        """(sql, ordered values, value label) for a table's main series."""
+        table = self.database.catalog.table(table_name)
+        time_column = None
+        for column in table.schema:
+            if column.type is ColumnType.DATE or (
+                column.name.lower() in self._TIME_COLUMN_NAMES
+            ):
+                time_column = column.name
+                break
+        if time_column is None:
+            return None
+        value_column = None
+        for column in table.schema:
+            if column.name == time_column:
+                continue
+            if column.type in (ColumnType.INTEGER, ColumnType.FLOAT) and (
+                column.name.lower() not in ("id", "year", "month")
+                and not column.name.lower().endswith("_id")
+            ):
+                value_column = column.name
+                break
+        if value_column is not None and len(set(table.column_values(time_column))) == len(table):
+            sql = (
+                f"SELECT {value_column} FROM {table_name} "
+                f"ORDER BY {time_column} ASC"
+            )
+            result = self.database.execute(sql)
+            return sql, [row[0] for row in result.rows], value_column
+        # No one-value-per-tick measure: use counts per time bucket.
+        sql = (
+            f"SELECT {time_column}, COUNT(*) AS n FROM {table_name} "
+            f"GROUP BY {time_column} ORDER BY {time_column} ASC"
+        )
+        result = self.database.execute(sql)
+        ticks = [row[0] for row in result.rows]
+        counts = {row[0]: row[1] for row in result.rows}
+        if ticks and all(isinstance(tick, int) for tick in ticks):
+            # Fill gaps with zero counts: a missing month means "no events",
+            # and dropping it would misalign every later phase.
+            series = [
+                counts.get(tick, 0)
+                for tick in range(min(ticks), max(ticks) + 1)
+            ]
+        else:
+            series = [row[1] for row in result.rows]
+        return sql, series, f"{table_name} volume"
+
+    def _chitchat(self, turn_id: int) -> Answer:
+        answer = Answer(
+            kind=AnswerKind.CHITCHAT,
+            text=(
+                "Happy to help with your data questions — ask me about the "
+                "available datasets or any analytical question."
+            ),
+        )
+        self.session.record_system_turn(answer.text, TurnKind.SYSTEM_ANSWER, turn_id)
+        return answer
+
+    # ------------------------------------------------------------------------------
+    # the data-question pipeline
+    # ------------------------------------------------------------------------------
+
+    _FOLLOWUP_PATTERN = (
+        r"^(?:what about|how about|same (?:thing )?for|and for|and in|"
+        r"now for|what if|and)\s+(?:the\s+)?([a-z0-9_ ]+?)\s*\??$"
+    )
+
+    def _try_followup(self, text: str, turn_id: int) -> Answer | None:
+        """Refine the previous question with a new filter value.
+
+        "Throughout the interaction, the system maintains context,
+        allowing for follow-up questions" (Section 2.1): a short turn
+        like "and for bern?" re-runs the last intent with its matching
+        equality filter swapped to the new literal.
+        """
+        import re as _re
+
+        if self.session.last_intent is None:
+            return None
+        match = _re.match(self._FOLLOWUP_PATTERN, text.strip().lower())
+        if match is None:
+            return None
+        phrase = match.group(1).strip()
+        hits = self.schema_kg.exact_value_columns(phrase)
+        previous = self.session.last_intent
+        # Prefer a column of the previous intent's table.
+        hits = [
+            hit for hit in hits if hit[0].lower() == previous.table.lower()
+        ] or hits
+        if len(hits) != 1:
+            return None
+        table, column, value = hits[0]
+        if table.lower() != previous.table.lower():
+            return None
+        from dataclasses import replace as dc_replace
+
+        from repro.nl.grammar import FilterSpec
+
+        filters = [
+            spec for spec in previous.filters if spec.column.lower() != column.lower()
+        ]
+        filters.append(FilterSpec(column=column, operator="=", value=value))
+        intent = dc_replace(previous, filters=filters)
+        from repro.nl.sqlgen import compile_intent
+
+        outcome = ParseOutcome(
+            intent=intent,
+            sql=compile_intent(intent).to_sql(),
+            confidence=0.9,
+            grounding_notes=[
+                f"follow-up: refined previous question with {column} = {value!r}"
+            ],
+        )
+        return self._answer_from_parse(text, turn_id, outcome)
+
+    def _handle_data_query(
+        self,
+        text: str,
+        turn_id: int,
+        llm_gold_sql: str | None,
+        preferred_table: str | None = None,
+    ) -> Answer:
+        outcome: ParseOutcome | None = None
+        ambiguity_candidates: list[str] = []
+        parse_failure: str | None = None
+        if self.config.use_grounded_parser:
+            try:
+                outcome = self.parser.parse(text, preferred_table=preferred_table)
+            except AmbiguousQuestionError as error:
+                ambiguity_candidates = [str(c) for c in error.candidates]
+            except TranslationError as error:
+                parse_failure = str(error)
+        # Ambiguity: clarify (policy permitting) or force the best guess.
+        if ambiguity_candidates:
+            if self.clarification.should_ask(ambiguous=True):
+                decision = self.planner.plan(
+                    self.session.graph,
+                    turn_id,
+                    confidence=None,
+                    ambiguous=True,
+                    can_suggest=False,
+                )
+                if decision.action == "clarify":
+                    return self._ask_clarification(
+                        text, turn_id, ambiguity_candidates, subject="table"
+                    )
+            outcome = self._parse_with_preference(
+                text, ambiguity_candidates[0].split(".")[-1]
+            )
+            if outcome is None:
+                parse_failure = "ambiguous question; forced reading failed"
+        # ALWAYS mode: confirm the interpretation before answering.
+        if (
+            outcome is not None
+            and self.clarification.should_ask(ambiguous=False, confidence=None)
+            and preferred_table is None
+        ):
+            return self._ask_clarification(
+                text, turn_id, [outcome.intent.table], subject="table"
+            )
+        if outcome is not None:
+            return self._answer_from_parse(text, turn_id, outcome)
+        return self._answer_from_llm(text, turn_id, llm_gold_sql, parse_failure)
+
+    def _parse_with_preference(
+        self, text: str, table: str
+    ) -> ParseOutcome | None:
+        try:
+            return self.parser.parse(text, preferred_table=table)
+        except (AmbiguousQuestionError, TranslationError):
+            return None
+
+    def _named_source(self, text: str) -> str | None:
+        """A registered data source explicitly named in ``text``, if any."""
+        lowered = text.lower()
+        for info in self.registry.sources():
+            surface = info.name.replace("_", " ").lower()
+            if surface in lowered:
+                if info.kind == "table":
+                    self.session.focus_table = info.name
+                return info.name
+        if self.vocabulary is not None:
+            for grounded in self.vocabulary.ground_question(lowered):
+                if grounded.score < 0.999:
+                    continue
+                for binding in grounded.term.schema_bindings:
+                    if binding.startswith("table:"):
+                        name = binding.split(":", 1)[1]
+                        if name in self.registry:
+                            self.session.focus_table = name
+                            return name
+        return None
+
+    def _ask_clarification(
+        self, text: str, turn_id: int, candidates: list[str], subject: str
+    ) -> Answer:
+        options = [candidate.split(".")[-1] for candidate in candidates]
+        question = self.clarification.build_question(text, options, subject=subject)
+        self.session.open_clarification(text, question, subject=subject)
+        answer = Answer(
+            kind=AnswerKind.CLARIFICATION,
+            text=question.text,
+            clarification=question,
+        )
+        self.session.record_system_turn(
+            answer.text, TurnKind.CLARIFICATION_REQUEST, turn_id, role="clarifies"
+        )
+        return answer
+
+    # -- parser path ---------------------------------------------------------------
+
+    def _answer_from_parse(
+        self, text: str, turn_id: int, outcome: ParseOutcome
+    ) -> Answer:
+        try:
+            result = self.database.execute(outcome.sql)
+        except CDAError as error:
+            return self._error_answer(turn_id, f"query failed: {error}")
+        verification = self._verify(result)
+        # The grounded parser is deterministic, so its "self-report" is a
+        # high constant; the grounding score carries the real signal.
+        confidence = fuse_confidence(
+            self_reported=0.95,
+            grounding=outcome.confidence,
+            verification_passed=None if verification is None else verification.passed,
+        )
+        return self._finalise_data_answer(
+            text, turn_id, result, confidence, verification,
+            intent=outcome, parse_based=True,
+        )
+
+    # -- LLM fallback path ------------------------------------------------------------
+
+    def _answer_from_llm(
+        self,
+        text: str,
+        turn_id: int,
+        llm_gold_sql: str | None,
+        parse_failure: str | None,
+    ) -> Answer:
+        # "I am interested in the barometer": not a computable question,
+        # but it names a data source — give its overview and focus it.
+        named = self._named_source(text)
+        if named is not None:
+            return self._dataset_overview(named, turn_id)
+        if not self.config.use_llm_fallback or self.llm is None or llm_gold_sql is None:
+            reason = parse_failure or "I could not translate this question."
+            answer = Answer(
+                kind=AnswerKind.ABSTENTION,
+                text=(
+                    "I cannot answer this reliably: "
+                    f"{reason} Could you rephrase or name the dataset?"
+                ),
+            )
+            self.session.record_system_turn(answer.text, TurnKind.ABSTENTION, turn_id)
+            return answer
+        samples = self.llm.generate_sql(
+            text, llm_gold_sql, n_samples=max(1, self.config.consistency_samples)
+        )
+        candidates = samples
+        if self.config.use_constrained_decoding:
+            candidates = [
+                sample
+                for sample in samples
+                if self.validator.validate(sample.sql).valid
+            ]
+            if not candidates:
+                answer = Answer(
+                    kind=AnswerKind.ABSTENTION,
+                    text=(
+                        "None of my candidate translations passed validation, "
+                        "so I will not guess. Could you rephrase the question?"
+                    ),
+                )
+                self.session.record_system_turn(
+                    answer.text, TurnKind.ABSTENTION, turn_id
+                )
+                return answer
+        if len(candidates) > 1:
+            vote = self.uq.assess(candidates)
+            chosen = vote.chosen
+            consistency: float | None = vote.confidence
+        else:
+            chosen = candidates[0]
+            consistency = None
+        if chosen is None:
+            return self._error_answer(turn_id, "no candidate query was executable")
+        try:
+            result = self.database.execute(chosen.sql)
+        except CDAError as error:
+            return self._error_answer(turn_id, f"generated query failed: {error}")
+        verification = self._verify(result)
+        confidence = fuse_confidence(
+            self_reported=chosen.self_confidence,
+            consistency=consistency,
+            grounding=None,
+            verification_passed=None if verification is None else verification.passed,
+        )
+        return self._finalise_data_answer(
+            text, turn_id, result, confidence, verification,
+            intent=None, parse_based=False,
+        )
+
+    # -- shared answer assembly ----------------------------------------------------------
+
+    def _verify(self, result: QueryResult):
+        if self.config.verification_depth == "none":
+            return None
+        return self.verifier.verify(result, depth=self.config.verification_depth)
+
+    def _finalise_data_answer(
+        self,
+        text: str,
+        turn_id: int,
+        result: QueryResult,
+        confidence: ConfidenceBreakdown,
+        verification,
+        intent,
+        parse_based: bool,
+    ) -> Answer:
+        if self.config.allow_abstention:
+            decision = self.policy.decide(
+                confidence.value,
+                None if verification is None else verification.passed,
+            )
+            if decision.abstained:
+                answer = Answer(
+                    kind=AnswerKind.ABSTENTION,
+                    text=self.generator.render_abstention(
+                        confidence.value, self.policy.threshold
+                    ),
+                    confidence=confidence,
+                    verification=verification,
+                )
+                self.session.record_system_turn(
+                    answer.text, TurnKind.ABSTENTION, turn_id,
+                    confidence=confidence.value,
+                )
+                return answer
+        terse = (
+            self.config.adapt_to_expertise
+            and self.session.profiler.profile().prefers_terse_answers
+        )
+        if parse_based and intent is not None:
+            prose = self.generator.render_answer(intent.intent, result)
+            if terse:
+                # Experts get the numbers; the interpretation restatement
+                # is novice scaffolding (Section 3.2: interact differently
+                # according to the inferred expertise).
+                text_out = prose
+            else:
+                interpretation = self.generator.render_interpretation(intent.intent)
+                text_out = f"{interpretation}\n{prose}"
+            query_intent = intent.intent
+            grounding_notes = intent.grounding_notes
+        else:
+            prose = self.generator._render_table(result)
+            text_out = prose
+            query_intent = None
+            grounding_notes = []
+        explanation = None
+        if self.config.attach_explanations:
+            explanation = self.explainer.from_query_result(
+                result, question=text, grounding_notes=grounding_notes
+            )
+        suggestions = []
+        focus = query_intent.table if query_intent is not None else None
+        if focus is not None:
+            self.session.focus_table = focus
+            self.session.last_intent = query_intent
+            self.session.used_group_columns.update(
+                column.lower() for column in query_intent.group_by
+            )
+        if self.config.offer_suggestions and self.session.focus_table:
+            suggestions = self.suggestion_engine.suggest(
+                self.session.focus_table,
+                self.session.used_group_columns,
+                max_suggestions=1,
+            )
+        self.session.tracker.record(
+            component="sqldb",
+            kind=ProvenanceNodeKind.QUERY,
+            description=result.sql,
+            inputs=sorted(
+                {f"dataset:{table}" for table, _row in result.all_source_rows()}
+            ),
+            outputs=[f"answer:{self.session.answers_given}"],
+        )
+        metadata: dict = {}
+        if verification is not None and verification.passed:
+            from repro.soundness.verifier import verify_rows
+
+            row_verdicts = verify_rows(self.database, result)
+            if row_verdicts is not None:
+                # Part-scored answer: each group row carries its own
+                # verified flag ("a confidence score ... for parts of the
+                # answer with differing scores", Section 3.2).
+                metadata["row_verification"] = [
+                    verdict.verified for verdict in row_verdicts
+                ]
+        answer = Answer(
+            kind=AnswerKind.DATA,
+            text=text_out,
+            confidence=confidence,
+            rows=list(result.rows),
+            columns=list(result.columns),
+            sql=result.sql,
+            intent=query_intent,
+            explanation=explanation,
+            verification=verification,
+            suggestions=suggestions,
+            metadata=metadata,
+        )
+        self.session.record_system_turn(
+            answer.text, TurnKind.SYSTEM_ANSWER, turn_id, confidence=confidence.value
+        )
+        return answer
+
+    # ------------------------------------------------------------------------------
+    # where-to analysis (P3 applied forward)
+    # ------------------------------------------------------------------------------
+
+    def impact_of_source(self, source_name: str) -> list[str]:
+        """Every answer of this session that rests on ``source_name``.
+
+        The paper's *where-to* analysis (Section 3.2): when a source
+        changes or rots, the system can enumerate the answers it
+        influenced, so they can be re-derived or retracted.
+        """
+        graph = self.session.tracker.build_graph()
+        node_id = f"dataset:{source_name}"
+        if node_id not in graph:
+            return []
+        return sorted(
+            node.node_id for node in graph.answers_touched_by(node_id)
+        )
+
+    def _error_answer(self, turn_id: int, message: str) -> Answer:
+        answer = Answer(kind=AnswerKind.ERROR, text=f"Something went wrong: {message}")
+        self.session.record_system_turn(answer.text, TurnKind.ABSTENTION, turn_id)
+        return answer

@@ -1,0 +1,182 @@
+"""Component registry with declared property certificates.
+
+Section 2.2: "all components should have the formal properties that allow
+composability, i.e., individual properties (e.g., soundness) contribute
+to system-level formal guarantees."  Here each component registers a
+certificate saying which reliability properties it *provides* (it
+establishes the property on its own output), which it *propagates* (it
+preserves the property if its input has it), and which it *requires* of
+its input to function.
+
+:mod:`repro.core.composition` then derives the property set of a whole
+pipeline from these certificates and rejects compositions that silently
+drop a property — the formal half of experiment E10 (the empirical half
+runs pipelines and looks for actual violations).
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass, field
+
+from repro.errors import CompositionError
+
+
+class Property(enum.Enum):
+    """The five reliability properties of the paper."""
+
+    EFFICIENCY = "P1_efficiency"
+    GROUNDING = "P2_grounding"
+    EXPLAINABILITY = "P3_explainability"
+    SOUNDNESS = "P4_soundness"
+    GUIDANCE = "P5_guidance"
+
+
+@dataclass(frozen=True)
+class Component:
+    """One pipeline stage with its property certificate."""
+
+    name: str
+    provides: frozenset[Property] = frozenset()
+    propagates: frozenset[Property] = frozenset()
+    requires: frozenset[Property] = frozenset()
+    description: str = ""
+
+    @classmethod
+    def make(
+        cls,
+        name: str,
+        provides=(),
+        propagates=(),
+        requires=(),
+        description: str = "",
+    ) -> "Component":
+        """Convenience constructor from iterables."""
+        return cls(
+            name=name,
+            provides=frozenset(provides),
+            propagates=frozenset(propagates),
+            requires=frozenset(requires),
+            description=description,
+        )
+
+
+class ComponentRegistry:
+    """Named registry the composition checker resolves against."""
+
+    def __init__(self) -> None:
+        self._components: dict[str, Component] = {}
+
+    def __len__(self) -> int:
+        return len(self._components)
+
+    def __contains__(self, name: str) -> bool:
+        return name.lower() in self._components
+
+    def register(self, component: Component) -> None:
+        """Register a component; names are unique."""
+        key = component.name.lower()
+        if key in self._components:
+            raise CompositionError(f"component {component.name!r} already registered")
+        self._components[key] = component
+
+    def get(self, name: str) -> Component:
+        """Fetch a component by name."""
+        key = name.lower()
+        if key not in self._components:
+            raise CompositionError(f"no component {name!r}")
+        return self._components[key]
+
+    def resolve(self, names: list[str]) -> list[Component]:
+        """Resolve a pipeline spec (list of names) to components."""
+        return [self.get(name) for name in names]
+
+
+def default_cda_registry() -> ComponentRegistry:
+    """The certificates of this repository's own components.
+
+    These reflect what each implementation actually does — e.g. the SQL
+    engine *provides* explainability (it mints lineage) while the answer
+    generator only *propagates* it (templates keep the citation intact),
+    and a free-generating LLM propagates nothing.
+    """
+    registry = ComponentRegistry()
+    registry.register(
+        Component.make(
+            "grounded_parser",
+            provides=[Property.GROUNDING],
+            propagates=[Property.EXPLAINABILITY, Property.SOUNDNESS],
+            description="NL -> logical form via vocabulary/schema KG",
+        )
+    )
+    registry.register(
+        Component.make(
+            "llm_generator",
+            provides=[],
+            propagates=[],
+            description="free-form LLM SQL generation (no certificates)",
+        )
+    )
+    registry.register(
+        Component.make(
+            "constrained_decoder",
+            provides=[],
+            propagates=[Property.GROUNDING, Property.EXPLAINABILITY,
+                        Property.SOUNDNESS],
+            description="filters candidates through catalog validation",
+        )
+    )
+    registry.register(
+        Component.make(
+            "sql_engine",
+            provides=[Property.EXPLAINABILITY, Property.EFFICIENCY],
+            propagates=[Property.GROUNDING, Property.SOUNDNESS],
+            description="provenance-capturing relational execution",
+        )
+    )
+    registry.register(
+        Component.make(
+            "consistency_uq",
+            provides=[Property.SOUNDNESS],
+            propagates=[Property.GROUNDING, Property.EXPLAINABILITY,
+                        Property.EFFICIENCY],
+            description="sample-agreement confidence",
+        )
+    )
+    registry.register(
+        Component.make(
+            "verifier",
+            provides=[Property.SOUNDNESS],
+            propagates=[Property.GROUNDING, Property.EXPLAINABILITY,
+                        Property.EFFICIENCY],
+            requires=[Property.EXPLAINABILITY],
+            description="provenance-based verification (needs lineage!)",
+        )
+    )
+    registry.register(
+        Component.make(
+            "answer_generator",
+            provides=[],
+            propagates=[Property.GROUNDING, Property.EXPLAINABILITY,
+                        Property.SOUNDNESS, Property.EFFICIENCY],
+            description="template realisation (faithful by construction)",
+        )
+    )
+    registry.register(
+        Component.make(
+            "free_summariser",
+            provides=[],
+            propagates=[Property.GROUNDING],
+            description="LLM prose summarisation (drops provenance)",
+        )
+    )
+    registry.register(
+        Component.make(
+            "guidance_planner",
+            provides=[Property.GUIDANCE],
+            propagates=[Property.GROUNDING, Property.EXPLAINABILITY,
+                        Property.SOUNDNESS, Property.EFFICIENCY],
+            description="clarification/suggestion planning",
+        )
+    )
+    return registry

@@ -1,0 +1,103 @@
+"""Conversation session state.
+
+"Throughout the interaction, the system maintains context" (Section 2.1):
+the session carries the conversation graph, the pending clarification
+exchange (so a short reply like "the barometer" can be resolved), the
+table currently in focus for follow-up questions and analyses, the
+user-expertise profile, and the cross-component provenance tracker.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.guidance.clarification import ClarificationQuestion
+from repro.guidance.conversation_graph import ConversationGraph, TurnKind
+from repro.guidance.profiling import UserProfiler
+from repro.provenance.tracker import ProvenanceTracker
+
+
+@dataclass
+class PendingClarification:
+    """An open clarification exchange awaiting the user's pick."""
+
+    original_question: str
+    question: ClarificationQuestion
+    #: What the options decide (currently always a table choice).
+    subject: str = "table"
+
+
+@dataclass
+class Session:
+    """Mutable per-conversation state."""
+
+    graph: ConversationGraph = field(default_factory=ConversationGraph)
+    tracker: ProvenanceTracker = field(default_factory=ProvenanceTracker)
+    profiler: UserProfiler = field(default_factory=UserProfiler)
+    pending_clarification: PendingClarification | None = None
+    #: Table the conversation is currently about (focus for follow-ups).
+    focus_table: str | None = None
+    #: The last successfully answered query intent ("and for bern?"
+    #: refines it instead of starting over — context maintenance).
+    last_intent: object | None = None
+    #: Group-by columns already shown (suggestions avoid repeating them).
+    used_group_columns: set[str] = field(default_factory=set)
+    #: Running counters for session introspection.
+    questions_asked: int = 0
+    answers_given: int = 0
+    abstentions: int = 0
+    clarifications_asked: int = 0
+
+    def record_user_turn(self, text: str, kind: TurnKind) -> int:
+        """Add a user turn to the graph; returns its id."""
+        turn = self.graph.add_turn(actor="user", kind=kind, text=text)
+        if kind is TurnKind.USER_QUESTION:
+            self.questions_asked += 1
+            self.profiler.observe(text)
+        return turn.turn_id
+
+    def record_system_turn(
+        self,
+        text: str,
+        kind: TurnKind,
+        replies_to: int,
+        confidence: float | None = None,
+        role: str = "answers",
+    ) -> int:
+        """Add a system turn linked to the user turn it serves."""
+        turn = self.graph.add_turn(
+            actor="system",
+            kind=kind,
+            text=text,
+            confidence=confidence,
+            replies_to=replies_to,
+            role=role,
+        )
+        if kind is TurnKind.SYSTEM_ANSWER:
+            self.answers_given += 1
+        elif kind is TurnKind.ABSTENTION:
+            self.abstentions += 1
+        elif kind is TurnKind.CLARIFICATION_REQUEST:
+            self.clarifications_asked += 1
+        return turn.turn_id
+
+    @property
+    def expecting_clarification_reply(self) -> bool:
+        """Whether the next user turn should answer a system question."""
+        return self.pending_clarification is not None
+
+    def open_clarification(
+        self, original_question: str, question: ClarificationQuestion, subject: str
+    ) -> None:
+        """Remember the exchange so the reply can be resolved."""
+        self.pending_clarification = PendingClarification(
+            original_question=original_question,
+            question=question,
+            subject=subject,
+        )
+
+    def close_clarification(self) -> PendingClarification | None:
+        """Consume and return the pending exchange."""
+        pending = self.pending_clarification
+        self.pending_clarification = None
+        return pending

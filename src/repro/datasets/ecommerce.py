@@ -1,0 +1,237 @@
+"""Synthetic e-commerce analytics domain.
+
+A second domain for the examples and cross-domain benchmarks: customers,
+products, and orders with FK links, plus planted facts (the electronics
+category has the highest revenue; weekly order seasonality of period 7 in
+the daily order series) the benchmarks can score against.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro.datasets.registry import DataSourceRegistry
+from repro.kg.vocabulary import DomainVocabulary, VocabularyTerm
+from repro.retrieval.documents import Document
+from repro.sqldb.database import Database
+from repro.sqldb.table import Table
+from repro.sqldb.types import Column, ColumnType, Schema
+
+CATEGORIES = ["electronics", "clothing", "books", "toys", "garden"]
+COUNTRIES = ["switzerland", "germany", "france", "italy", "austria"]
+
+#: Mean order value per category (electronics planted highest).
+_CATEGORY_VALUE = {
+    "electronics": 320.0,
+    "clothing": 80.0,
+    "books": 30.0,
+    "toys": 55.0,
+    "garden": 120.0,
+}
+
+
+@dataclass
+class EcommerceGroundTruth:
+    """Planted facts."""
+
+    top_revenue_category: str
+    weekly_period: int
+    n_days: int
+    n_customers: int
+    n_orders: int
+
+
+@dataclass
+class EcommerceDomain:
+    """Registry + vocabulary + ground truth bundle."""
+
+    registry: DataSourceRegistry
+    vocabulary: DomainVocabulary
+    ground_truth: EcommerceGroundTruth
+
+
+def build_ecommerce_registry(
+    seed: int = 0,
+    n_customers: int = 60,
+    n_products: int = 40,
+    n_orders: int = 1500,
+    n_days: int = 140,
+) -> EcommerceDomain:
+    """Build the e-commerce domain (deterministic per seed)."""
+    rng = np.random.default_rng(seed)
+    database = Database()
+    registry = DataSourceRegistry(database)
+
+    customers = Table(
+        name="customers",
+        schema=Schema(
+            columns=[
+                Column("customer_id", ColumnType.INTEGER, nullable=False),
+                Column("name", ColumnType.TEXT, nullable=False,
+                       description="customer display name"),
+                Column("country", ColumnType.TEXT, nullable=False,
+                       description="customer country of residence"),
+                Column("age", ColumnType.INTEGER,
+                       description="age in years at registration"),
+            ]
+        ),
+        description="Registered customers with country and age.",
+    )
+    customers.set_primary_key("customer_id")
+    for customer_id in range(1, n_customers + 1):
+        customers.insert(
+            [
+                customer_id,
+                f"customer_{customer_id:03d}",
+                COUNTRIES[int(rng.integers(0, len(COUNTRIES)))],
+                int(rng.integers(18, 75)),
+            ]
+        )
+    registry.register_table(
+        customers,
+        description=customers.description,
+        topics=["customers", "demographics", "ecommerce"],
+    )
+
+    products = Table(
+        name="products",
+        schema=Schema(
+            columns=[
+                Column("product_id", ColumnType.INTEGER, nullable=False),
+                Column("title", ColumnType.TEXT, nullable=False,
+                       description="product title"),
+                Column("category", ColumnType.TEXT, nullable=False,
+                       description="product category"),
+                Column("price", ColumnType.FLOAT, nullable=False,
+                       description="list price in CHF"),
+            ]
+        ),
+        description="Product catalog with category and list price.",
+    )
+    products.set_primary_key("product_id")
+    product_categories: list[str] = []
+    for product_id in range(1, n_products + 1):
+        category = CATEGORIES[(product_id - 1) % len(CATEGORIES)]
+        product_categories.append(category)
+        base = _CATEGORY_VALUE[category]
+        products.insert(
+            [
+                product_id,
+                f"{category}_item_{product_id:03d}",
+                category,
+                round(float(base * rng.uniform(0.6, 1.4)), 2),
+            ]
+        )
+    registry.register_table(
+        products,
+        description=products.description,
+        topics=["products", "catalog", "pricing", "ecommerce"],
+    )
+
+    orders = Table(
+        name="orders",
+        schema=Schema(
+            columns=[
+                Column("order_id", ColumnType.INTEGER, nullable=False),
+                Column("customer_id", ColumnType.INTEGER, nullable=False,
+                       description="customer placing the order"),
+                Column("product_id", ColumnType.INTEGER, nullable=False,
+                       description="ordered product"),
+                Column("day_index", ColumnType.INTEGER, nullable=False,
+                       description="days since the shop opened"),
+                Column("quantity", ColumnType.INTEGER, nullable=False),
+                Column("amount", ColumnType.FLOAT, nullable=False,
+                       description="order value in CHF"),
+            ]
+        ),
+        description="Orders with customer, product, day, quantity and value.",
+    )
+    orders.set_primary_key("order_id")
+    weekly_period = 7
+    # Weekly seasonality: weekends (phases 5, 6) see more orders.
+    day_weights = np.array([1.0, 0.9, 0.9, 1.0, 1.4, 2.6, 2.2])
+    day_probabilities = np.tile(day_weights, n_days // 7 + 1)[:n_days]
+    day_probabilities = day_probabilities / day_probabilities.sum()
+    product_prices = products.column_values("price")
+    for order_id in range(1, n_orders + 1):
+        product_id = int(rng.integers(1, n_products + 1))
+        quantity = int(rng.integers(1, 4))
+        price = float(product_prices[product_id - 1])
+        orders.insert(
+            [
+                order_id,
+                int(rng.integers(1, n_customers + 1)),
+                product_id,
+                int(rng.choice(n_days, p=day_probabilities)),
+                quantity,
+                round(price * quantity, 2),
+            ]
+        )
+    registry.register_table(
+        orders,
+        description=orders.description,
+        topics=["orders", "sales", "revenue", "ecommerce"],
+    )
+    database.catalog.add_foreign_key("orders", "customer_id", "customers", "customer_id")
+    database.catalog.add_foreign_key("orders", "product_id", "products", "product_id")
+
+    registry.register_document(
+        Document(
+            doc_id="shop_reporting_guide",
+            title="Shop reporting conventions",
+            text=(
+                "Revenue is the sum of order amounts. Orders reference the "
+                "product catalog and the customer registry. Day indexes "
+                "count from shop opening; weekly patterns peak on weekends."
+            ),
+            source="https://example-shop.ch/reporting",
+        ),
+        topics=["reporting", "revenue", "ecommerce"],
+    )
+
+    vocabulary = DomainVocabulary()
+    vocabulary.add_term(
+        VocabularyTerm(
+            name="orders",
+            definition="purchase transactions",
+            synonyms=["sales", "purchases", "transactions"],
+            schema_bindings=["table:orders"],
+        )
+    )
+    vocabulary.add_term(
+        VocabularyTerm(
+            name="customers",
+            definition="registered buyers",
+            synonyms=["buyers", "clients", "shoppers"],
+            schema_bindings=["table:customers"],
+        )
+    )
+    vocabulary.add_term(
+        VocabularyTerm(
+            name="products",
+            definition="catalog items",
+            synonyms=["items", "catalog", "merchandise"],
+            schema_bindings=["table:products"],
+        )
+    )
+    vocabulary.add_term(
+        VocabularyTerm(
+            name="revenue",
+            definition="total order value",
+            synonyms=["turnover", "total sales", "income"],
+            schema_bindings=["column:orders.amount"],
+        )
+    )
+
+    ground_truth = EcommerceGroundTruth(
+        top_revenue_category="electronics",
+        weekly_period=weekly_period,
+        n_days=n_days,
+        n_customers=n_customers,
+        n_orders=n_orders,
+    )
+    return EcommerceDomain(
+        registry=registry, vocabulary=vocabulary, ground_truth=ground_truth
+    )

@@ -1,0 +1,159 @@
+"""Data-source registry: tables + documents + metadata, interlinked.
+
+Section 3.1's paradigm shift for the data layer is "a data model able to
+effectively interlink data and metadata and expose their connections
+uniformly".  The registry is that join point: every data source has
+
+* its *data* (a table in the shared :class:`~repro.sqldb.database.
+  Database`, or a document in the shared store),
+* its *metadata* (:class:`DataSourceInfo`: description, topics, origin
+  URL, update cadence),
+* and an automatically-maintained *metadata document* that the dataset
+  search engine indexes, so discovery sees names, descriptions, column
+  labels and topics through one interface.
+
+The registry also implements the paper's "data rotting" hook: sources
+carry a ``stale`` flag, and stale sources are excluded from discovery by
+default while remaining queryable for provenance replay.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.errors import CDAError
+from repro.retrieval.documents import Document, DocumentStore
+from repro.sqldb.database import Database
+from repro.sqldb.table import Table
+
+
+@dataclass
+class DataSourceInfo:
+    """Metadata about one registered data source."""
+
+    name: str
+    kind: str  # "table" | "document"
+    description: str
+    topics: list[str] = field(default_factory=list)
+    source_url: str = ""
+    update_cadence: str = ""
+    stale: bool = False
+
+
+class DataSourceRegistry:
+    """The interlinked data + metadata layer."""
+
+    def __init__(self, database: Database | None = None):
+        self.database = database if database is not None else Database()
+        self.documents = DocumentStore()
+        self._sources: dict[str, DataSourceInfo] = {}
+        #: Metadata documents describing sources (indexed for discovery).
+        self.metadata_documents = DocumentStore()
+
+    def __len__(self) -> int:
+        return len(self._sources)
+
+    def __contains__(self, name: str) -> bool:
+        return name.lower() in self._sources
+
+    # -- registration ------------------------------------------------------------
+
+    def register_table(
+        self,
+        table: Table,
+        description: str,
+        topics: list[str] | None = None,
+        source_url: str = "",
+        update_cadence: str = "",
+    ) -> DataSourceInfo:
+        """Register ``table`` as a discoverable data source."""
+        if table.name not in self.database.catalog:
+            self.database.add_table(table)
+        info = DataSourceInfo(
+            name=table.name,
+            kind="table",
+            description=description,
+            topics=list(topics or []),
+            source_url=source_url,
+            update_cadence=update_cadence,
+        )
+        self._register(info, self._table_metadata_text(table, info))
+        return info
+
+    def register_document(
+        self,
+        document: Document,
+        topics: list[str] | None = None,
+    ) -> DataSourceInfo:
+        """Register a text document as a data source."""
+        if document.doc_id not in self.documents:
+            self.documents.add(document)
+        info = DataSourceInfo(
+            name=document.doc_id,
+            kind="document",
+            description=document.title,
+            topics=list(topics or []),
+            source_url=document.source,
+        )
+        self._register(info, document.full_text)
+        return info
+
+    def _register(self, info: DataSourceInfo, metadata_text: str) -> None:
+        key = info.name.lower()
+        if key in self._sources:
+            raise CDAError(f"data source {info.name!r} already registered")
+        self._sources[key] = info
+        self.metadata_documents.add(
+            Document(
+                doc_id=info.name,
+                title=info.name.replace("_", " "),
+                text=metadata_text,
+                source=info.source_url,
+                metadata={"kind": info.kind},
+            )
+        )
+
+    def _table_metadata_text(self, table: Table, info: DataSourceInfo) -> str:
+        column_parts = []
+        for column in table.schema:
+            label = column.name.replace("_", " ")
+            if column.description:
+                column_parts.append(f"{label} ({column.description})")
+            else:
+                column_parts.append(label)
+        return (
+            f"{info.description}\n"
+            f"Columns: {', '.join(column_parts)}.\n"
+            f"Topics: {', '.join(info.topics)}."
+        )
+
+    # -- lookup --------------------------------------------------------------------
+
+    def info(self, name: str) -> DataSourceInfo:
+        """Metadata of the source named ``name``."""
+        key = name.lower()
+        if key not in self._sources:
+            raise CDAError(f"no data source {name!r}")
+        return self._sources[key]
+
+    def sources(self, include_stale: bool = False) -> list[DataSourceInfo]:
+        """All registered sources (stale ones excluded by default)."""
+        return [
+            info
+            for info in self._sources.values()
+            if include_stale or not info.stale
+        ]
+
+    def table_sources(self) -> list[DataSourceInfo]:
+        """All (fresh) table-backed sources."""
+        return [info for info in self.sources() if info.kind == "table"]
+
+    # -- data rotting -----------------------------------------------------------------
+
+    def mark_stale(self, name: str) -> None:
+        """Flag a source as outdated: hidden from discovery, kept for replay."""
+        self.info(name).stale = True
+
+    def refresh(self, name: str) -> None:
+        """Clear the stale flag after the source was updated."""
+        self.info(name).stale = False

@@ -1,0 +1,121 @@
+"""Data rotting: detecting and quarantining outdated sources.
+
+Section 3.1: "Central to that is an effective mechanism to cope with
+data rotting [26], i.e., the ability to identify and discard parts of
+the data that are outdated or obsolete."
+
+Each data source declares an ``update_cadence`` ("daily", "monthly",
+...); the detector compares the source's *age* (supplied by the caller —
+no wall clock, so experiments stay deterministic) against a per-cadence
+tolerance and marks overdue sources stale.  Stale sources disappear from
+discovery (the registry already enforces that) but remain queryable, so
+provenance replay of old answers keeps working — discard from the
+*front door*, never from the audit trail.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.datasets.registry import DataSourceRegistry
+from repro.errors import CDAError
+
+#: Cadence -> maximum acceptable age in days before a source is rotten.
+#: The tolerance is 2x the nominal refresh interval: one missed refresh
+#: is late, two is rot.
+DEFAULT_TOLERANCES: dict[str, float] = {
+    "daily": 2.0,
+    "weekly": 14.0,
+    "monthly": 62.0,
+    "quarterly": 185.0,
+    "yearly": 730.0,
+}
+
+
+@dataclass
+class RotVerdict:
+    """One source's freshness assessment."""
+
+    name: str
+    cadence: str
+    age_days: float
+    max_age_days: float | None
+    rotten: bool
+
+    def describe(self) -> str:
+        if self.max_age_days is None:
+            return f"{self.name}: no cadence declared; not assessed"
+        state = "ROTTEN" if self.rotten else "fresh"
+        return (
+            f"{self.name}: {state} (age {self.age_days:.0f}d, "
+            f"{self.cadence} cadence allows {self.max_age_days:.0f}d)"
+        )
+
+
+@dataclass
+class RotReport:
+    """Outcome of one registry scan."""
+
+    verdicts: list[RotVerdict] = field(default_factory=list)
+
+    @property
+    def rotten(self) -> list[RotVerdict]:
+        """Only the rotten sources."""
+        return [verdict for verdict in self.verdicts if verdict.rotten]
+
+    @property
+    def assessed(self) -> list[RotVerdict]:
+        """Sources that declared a cadence and were assessed."""
+        return [v for v in self.verdicts if v.max_age_days is not None]
+
+
+class RotDetector:
+    """Scans a registry against per-cadence freshness tolerances."""
+
+    def __init__(self, tolerances: dict[str, float] | None = None):
+        self.tolerances = dict(
+            DEFAULT_TOLERANCES if tolerances is None else tolerances
+        )
+        for cadence, days in self.tolerances.items():
+            if days <= 0:
+                raise CDAError(f"tolerance for {cadence!r} must be positive")
+
+    def assess(self, name: str, cadence: str, age_days: float) -> RotVerdict:
+        """Freshness verdict for one source."""
+        if age_days < 0:
+            raise CDAError("age_days must be non-negative")
+        max_age = self.tolerances.get(cadence.lower()) if cadence else None
+        return RotVerdict(
+            name=name,
+            cadence=cadence,
+            age_days=age_days,
+            max_age_days=max_age,
+            rotten=max_age is not None and age_days > max_age,
+        )
+
+    def scan(
+        self,
+        registry: DataSourceRegistry,
+        ages_days: dict[str, float],
+        quarantine: bool = True,
+    ) -> RotReport:
+        """Assess every registered source; optionally mark rotten ones stale.
+
+        ``ages_days`` maps source name -> days since its last update
+        (sources missing from the map are treated as age 0 = just
+        refreshed).  With ``quarantine`` on, rotten sources are marked
+        stale in the registry and previously-stale-but-now-fresh ones
+        are restored.
+        """
+        report = RotReport()
+        for info in registry.sources(include_stale=True):
+            verdict = self.assess(
+                info.name, info.update_cadence, ages_days.get(info.name, 0.0)
+            )
+            report.verdicts.append(verdict)
+            if quarantine and verdict.max_age_days is not None:
+                if verdict.rotten:
+                    registry.mark_stale(info.name)
+                elif info.stale:
+                    registry.refresh(info.name)
+        return report

@@ -1,0 +1,264 @@
+"""Synthetic Swiss labour-market domain — the paper's running example.
+
+Substitutes the real Swiss Labour Market Barometer (a web-published
+monthly indicator the paper's Figure 1 conversation explores) with a
+synthetic equivalent whose ground truth is *known*:
+
+* ``barometer`` — a monthly index with a planted seasonal period of **6**
+  (matching the example's "best fitted seasonal period is 6"), a mild
+  upward trend, and Gaussian noise;
+* ``employment`` — canton x sector x year employee counts;
+* ``cantons`` — canton metadata (region, population), FK-linked;
+* two documents describing the sources (what turn 2 of the example
+  retrieves and cites).
+
+``build_swiss_labour_registry`` returns the registry, the domain
+vocabulary ("working force" -> employment, "barometer" -> barometer), and
+the planted ground truth the benchmarks score against.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro.datasets.registry import DataSourceRegistry
+from repro.kg.vocabulary import DomainVocabulary, VocabularyTerm
+from repro.retrieval.documents import Document
+from repro.sqldb.database import Database
+from repro.sqldb.table import Table
+from repro.sqldb.types import Column, ColumnType, Schema
+
+BAROMETER_URL = "https://www.example-labour.ch/schweizer-arbeitsmarktbarometer.html"
+EMPLOYMENT_URL = "https://www.example-labour.ch/employment-statistics.html"
+
+CANTONS = [
+    ("zurich", "east", 1540000),
+    ("bern", "west", 1040000),
+    ("geneva", "west", 500000),
+    ("vaud", "west", 815000),
+    ("ticino", "south", 350000),
+    ("basel", "north", 200000),
+    ("lucerne", "central", 410000),
+    ("stgallen", "east", 510000),
+]
+
+SECTORS = ["manufacturing", "services", "construction", "healthcare", "education"]
+
+
+@dataclass
+class SwissLabourGroundTruth:
+    """The planted facts benchmarks validate against."""
+
+    barometer_period: int
+    barometer_trend_slope: float
+    n_months: int
+    employment_years: list[int] = field(default_factory=list)
+    largest_sector: str = ""
+
+
+@dataclass
+class SwissLabourDomain:
+    """Everything the examples and benchmarks need from this domain."""
+
+    registry: DataSourceRegistry
+    vocabulary: DomainVocabulary
+    ground_truth: SwissLabourGroundTruth
+
+
+def _barometer_series(
+    n_months: int, period: int, slope: float, noise: float, rng: np.random.Generator
+) -> np.ndarray:
+    months = np.arange(n_months, dtype=np.float64)
+    trend = 100.0 + slope * months
+    seasonal = 2.5 * np.sin(2.0 * np.pi * months / period)
+    return trend + seasonal + rng.normal(0.0, noise, size=n_months)
+
+
+def _month_to_date(index: int, start_year: int = 2015) -> str:
+    year = start_year + index // 12
+    month = index % 12 + 1
+    return f"{year:04d}-{month:02d}-01"
+
+
+def build_swiss_labour_registry(
+    seed: int = 0,
+    n_months: int = 120,
+    barometer_period: int = 6,
+    noise: float = 0.6,
+) -> SwissLabourDomain:
+    """Build the full synthetic domain (deterministic per seed)."""
+    rng = np.random.default_rng(seed)
+    database = Database()
+    registry = DataSourceRegistry(database)
+
+    # -- barometer time series ------------------------------------------------------
+    slope = 0.03
+    series = _barometer_series(n_months, barometer_period, slope, noise, rng)
+    barometer = Table(
+        name="barometer",
+        schema=Schema(
+            columns=[
+                Column("month_index", ColumnType.INTEGER, nullable=False,
+                       description="months since January 2015"),
+                Column("date", ColumnType.DATE, nullable=False,
+                       description="first day of the month"),
+                Column("barometer", ColumnType.FLOAT, nullable=False,
+                       description="labour market barometer index value"),
+            ]
+        ),
+        description=(
+            "The Swiss Labour Market Barometer: a monthly leading indicator "
+            "based on a survey of labour market experts from selected "
+            "employment centers in 22 cantons."
+        ),
+    )
+    for index, value in enumerate(series):
+        barometer.insert([index, _month_to_date(index), float(value)])
+    registry.register_table(
+        barometer,
+        description=barometer.description,
+        topics=["labour market", "employment", "barometer", "indicator", "monthly"],
+        source_url=BAROMETER_URL,
+        update_cadence="monthly",
+    )
+
+    # -- employment by canton/sector/year ---------------------------------------------
+    employment = Table(
+        name="employment",
+        schema=Schema(
+            columns=[
+                Column("id", ColumnType.INTEGER, nullable=False),
+                Column("canton", ColumnType.TEXT, nullable=False,
+                       description="Swiss canton name"),
+                Column("sector", ColumnType.TEXT, nullable=False,
+                       description="economic sector of employment"),
+                Column("year", ColumnType.INTEGER, nullable=False),
+                Column("employees", ColumnType.INTEGER, nullable=False,
+                       description="number of employed persons older than 15"),
+            ]
+        ),
+        description=(
+            "Employment type distribution for employees older than 15 years, "
+            "by canton, economic sector, and year."
+        ),
+    )
+    employment.set_primary_key("id")
+    years = [2019, 2020, 2021, 2022]
+    sector_base = {
+        "services": 90000, "manufacturing": 60000, "healthcare": 40000,
+        "construction": 25000, "education": 20000,
+    }
+    row_id = 1
+    for canton, _region, population in CANTONS:
+        scale = population / 1_000_000
+        for sector in SECTORS:
+            for year in years:
+                base = sector_base[sector] * scale
+                growth = 1.0 + 0.01 * (year - years[0])
+                count = int(base * growth * float(rng.uniform(0.9, 1.1)))
+                employment.insert([row_id, canton, sector, year, count])
+                row_id += 1
+    registry.register_table(
+        employment,
+        description=employment.description,
+        topics=["employment", "workforce", "labour market", "cantons", "sectors"],
+        source_url=EMPLOYMENT_URL,
+        update_cadence="yearly",
+    )
+
+    cantons = Table(
+        name="cantons",
+        schema=Schema(
+            columns=[
+                Column("canton", ColumnType.TEXT, nullable=False,
+                       description="canton name"),
+                Column("region", ColumnType.TEXT, nullable=False,
+                       description="geographic region of Switzerland"),
+                Column("population", ColumnType.INTEGER, nullable=False,
+                       description="resident population"),
+            ]
+        ),
+        description="Swiss cantons with region and resident population.",
+    )
+    cantons.set_primary_key("canton")
+    for canton, region, population in CANTONS:
+        cantons.insert([canton, region, population])
+    registry.register_table(
+        cantons,
+        description=cantons.description,
+        topics=["cantons", "geography", "population"],
+    )
+    database.catalog.add_foreign_key("employment", "canton", "cantons", "canton")
+
+    # -- documents ------------------------------------------------------------------------
+    registry.register_document(
+        Document(
+            doc_id="barometer_methodology",
+            title="What is the Swiss Labour Market Barometer?",
+            text=(
+                "The Swiss Labour Market Barometer is a monthly leading "
+                "indicator based on a survey of labour market experts from "
+                "selected employment centers in 22 cantons. Experts assess "
+                "expected hiring and unemployment developments; responses "
+                "are aggregated into a single index published at the start "
+                "of each month."
+            ),
+            source=BAROMETER_URL,
+        ),
+        topics=["barometer", "methodology", "labour market"],
+    )
+    registry.register_document(
+        Document(
+            doc_id="employment_survey_notes",
+            title="Employment statistics collection notes",
+            text=(
+                "Employment counts cover employees older than 15 years and "
+                "are collected yearly per canton and economic sector. "
+                "Counts are calibrated against census population figures."
+            ),
+            source=EMPLOYMENT_URL,
+        ),
+        topics=["employment", "methodology"],
+    )
+
+    # -- vocabulary ------------------------------------------------------------------------
+    vocabulary = DomainVocabulary()
+    vocabulary.add_term(
+        VocabularyTerm(
+            name="employment",
+            definition="people in work, by canton/sector/year",
+            synonyms=["working force", "workforce", "labour market", "labor market",
+                      "jobs", "personnel"],
+            schema_bindings=["table:employment"],
+        )
+    )
+    vocabulary.add_term(
+        VocabularyTerm(
+            name="barometer",
+            definition="the Swiss Labour Market Barometer monthly index",
+            synonyms=["labour market barometer", "workforce barometer",
+                      "leading indicator"],
+            schema_bindings=["table:barometer"],
+        )
+    )
+    vocabulary.add_term(
+        VocabularyTerm(
+            name="canton",
+            definition="Swiss administrative region",
+            synonyms=["cantons", "region data"],
+            schema_bindings=["table:cantons"],
+        )
+    )
+
+    ground_truth = SwissLabourGroundTruth(
+        barometer_period=barometer_period,
+        barometer_trend_slope=slope,
+        n_months=n_months,
+        employment_years=years,
+        largest_sector="services",
+    )
+    return SwissLabourDomain(
+        registry=registry, vocabulary=vocabulary, ground_truth=ground_truth
+    )

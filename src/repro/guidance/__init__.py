@@ -1,0 +1,61 @@
+"""Guidance layer (property P5).
+
+"The ability to support users in pursuing their analytical goals by
+actively guiding them towards correct answers and desired insights more
+efficiently" (Section 2.1).  Components:
+
+* :mod:`repro.guidance.conversation_graph` — the paper's proposed
+  graph-based data model over turns, agents, and artefacts, where "nodes
+  in the graph represent LLMs or humans";
+* :mod:`repro.guidance.clarification` — ambiguity -> clarification
+  question -> reply disambiguation;
+* :mod:`repro.guidance.suggestions` — proactive next-step proposals
+  (related datasets, drill-downs, applicable analyses);
+* :mod:`repro.guidance.planner` — speculative expected-utility planning
+  over candidate system actions ("running alternative scenarios behind
+  the scenes");
+* :mod:`repro.guidance.profiling` — user-expertise inference, so the
+  system "interacts differently according to the inferred expertise";
+* :mod:`repro.guidance.user_sim` — the simulated user that makes
+  dialogue experiments (E6) reproducible.
+"""
+
+from repro.guidance.conversation_graph import (
+    ConversationGraph,
+    TurnKind,
+    TurnNode,
+)
+from repro.guidance.clarification import (
+    ClarificationPolicy,
+    ClarificationQuestion,
+    ClarificationMode,
+)
+from repro.guidance.suggestions import Suggestion, SuggestionEngine
+from repro.guidance.planner import ConversationPlanner, PlannedAction
+from repro.guidance.profiling import ExpertiseLevel, UserProfiler
+from repro.guidance.user_sim import SimulatedUser, UserGoal
+from repro.guidance.active import (
+    ActiveClarificationSelector,
+    ClarificationPlan,
+    entropy,
+)
+
+__all__ = [
+    "ConversationGraph",
+    "TurnKind",
+    "TurnNode",
+    "ClarificationPolicy",
+    "ClarificationQuestion",
+    "ClarificationMode",
+    "Suggestion",
+    "SuggestionEngine",
+    "ConversationPlanner",
+    "PlannedAction",
+    "ExpertiseLevel",
+    "UserProfiler",
+    "SimulatedUser",
+    "UserGoal",
+    "ActiveClarificationSelector",
+    "ClarificationPlan",
+    "entropy",
+]

@@ -1,0 +1,129 @@
+"""Active clarification: ask the question with the most information gain.
+
+Section 3.2 (Soundness): "an active learning or active search component
+could be in charge of eliciting feedback from users and actively probe
+the next question to ask with the goal of improving the answer
+certainty."  This module makes the *which question* decision principled:
+
+Given candidate interpretations with scores (from the grounding layer),
+treat the normalised scores as a belief distribution.  Each candidate
+clarification question partitions the candidates; its value is the
+expected entropy reduction of the belief, minus a per-question turn
+cost.  The selector compares:
+
+* **answer now** — commit to the argmax (residual entropy is the risk);
+* **ask, offering the top-j candidates** for each j — a longer option
+  list resolves more mass but costs the user more reading/choosing
+  (modelled as a per-option cost).
+
+With two near-tied candidates this reduces to the familiar "A or B?"
+question; with a long tail it learns to *not* enumerate everything.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+
+from repro.errors import GuidanceError
+
+
+def entropy(probabilities: list[float]) -> float:
+    """Shannon entropy in bits of a (possibly unnormalised) distribution."""
+    total = sum(probabilities)
+    if total <= 0:
+        raise GuidanceError("probabilities must have positive mass")
+    value = 0.0
+    for probability in probabilities:
+        share = probability / total
+        if share > 0:
+            value -= share * math.log2(share)
+    return value
+
+
+def normalise(scores: dict[str, float]) -> dict[str, float]:
+    """Scores -> belief distribution (scores must be non-negative)."""
+    if not scores:
+        raise GuidanceError("need at least one scored candidate")
+    if any(score < 0 for score in scores.values()):
+        raise GuidanceError("scores must be non-negative")
+    total = sum(scores.values())
+    if total == 0:
+        return {name: 1.0 / len(scores) for name in scores}
+    return {name: score / total for name, score in scores.items()}
+
+
+@dataclass
+class ClarificationPlan:
+    """The selector's decision."""
+
+    action: str  # "answer" | "ask"
+    options: list[str]  # offered candidates (empty when answering)
+    expected_entropy_after: float
+    prior_entropy: float
+    utility: float
+
+    @property
+    def information_gain(self) -> float:
+        """Expected bits of belief resolved by the chosen action."""
+        return self.prior_entropy - self.expected_entropy_after
+
+
+class ActiveClarificationSelector:
+    """Expected-information-gain clarification planning."""
+
+    def __init__(
+        self,
+        turn_cost_bits: float = 0.35,
+        per_option_cost_bits: float = 0.1,
+        uncovered_penalty_bits: float = 1.0,
+        max_options: int = 4,
+    ):
+        #: Fixed cost (in bits of equivalent value) of consuming a turn.
+        self.turn_cost_bits = turn_cost_bits
+        #: Marginal cost per option offered (reading/choosing effort).
+        self.per_option_cost_bits = per_option_cost_bits
+        #: Penalty when the user's true intent is not among the options
+        #: (an options-only question cannot express "none of these").
+        self.uncovered_penalty_bits = uncovered_penalty_bits
+        self.max_options = max_options
+
+    def plan(self, candidate_scores: dict[str, float]) -> ClarificationPlan:
+        """Choose between answering now and asking with top-j options.
+
+        Answering now is the zero-utility baseline; asking with j options
+        is worth its expected information gain minus the turn cost, the
+        per-option reading cost, and the risk of not covering the true
+        intent at all.
+        """
+        belief = normalise(candidate_scores)
+        ordered = sorted(belief.items(), key=lambda pair: (-pair[1], pair[0]))
+        prior = entropy([probability for _name, probability in ordered])
+
+        best = ClarificationPlan(
+            action="answer",
+            options=[],
+            expected_entropy_after=prior,
+            prior_entropy=prior,
+            utility=0.0,
+        )
+        for j in range(2, min(self.max_options, len(ordered)) + 1):
+            covered = ordered[:j]
+            uncovered = ordered[j:]
+            covered_mass = sum(probability for _name, probability in covered)
+            uncovered_mass = 1.0 - covered_mass
+            # Covered intent: the pick resolves everything (entropy 0).
+            # Uncovered intent: the user is forced into a wrong pick; the
+            # residual is the penalty (the misresolution risk).
+            expected_after = uncovered_mass * self.uncovered_penalty_bits
+            cost = self.turn_cost_bits + self.per_option_cost_bits * j
+            utility = (prior - expected_after) - cost
+            if utility > best.utility:
+                best = ClarificationPlan(
+                    action="ask",
+                    options=[name for name, _probability in covered],
+                    expected_entropy_after=expected_after,
+                    prior_entropy=prior,
+                    utility=utility,
+                )
+        return best

@@ -1,0 +1,120 @@
+"""Clarification: turning ambiguity into a question instead of a guess.
+
+The ask-and-refine loop of Section 3.2 (Soundness/Guidance): when the
+parser reports that a question admits several groundings — or when the
+fused confidence is too low — the system asks, the user picks, and the
+original question is re-parsed with the ambiguity resolved.
+
+Three policies (benchmark E6's ablation):
+
+* ``NEVER`` — always answer with the best guess (the LLM-only default);
+* ``WHEN_AMBIGUOUS`` — ask only when the parser raises ambiguity or
+  confidence is below the trigger;
+* ``ALWAYS`` — confirm every interpretation before answering (costs a
+  turn each time; the benchmark shows where that stops paying off).
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass, field
+
+from repro.errors import GuidanceError
+from repro.kg.vocabulary import token_overlap, trigram_similarity
+
+
+class ClarificationMode(enum.Enum):
+    """When the system asks before answering."""
+
+    NEVER = "never"
+    WHEN_AMBIGUOUS = "when_ambiguous"
+    ALWAYS = "always"
+
+
+@dataclass
+class ClarificationQuestion:
+    """A system question offering concrete options."""
+
+    text: str
+    options: list[str] = field(default_factory=list)
+    #: What the options disambiguate ("table", "column", "interpretation").
+    subject: str = "interpretation"
+
+
+class ClarificationPolicy:
+    """Decides when to ask, builds the question, resolves the reply."""
+
+    def __init__(
+        self,
+        mode: ClarificationMode = ClarificationMode.WHEN_AMBIGUOUS,
+        confidence_trigger: float = 0.45,
+    ):
+        self.mode = mode
+        self.confidence_trigger = confidence_trigger
+
+    # -- ask decision ----------------------------------------------------------------
+
+    def should_ask(
+        self, ambiguous: bool, confidence: float | None = None
+    ) -> bool:
+        """Whether to ask before answering."""
+        if self.mode is ClarificationMode.NEVER:
+            return False
+        if self.mode is ClarificationMode.ALWAYS:
+            return True
+        if ambiguous:
+            return True
+        return confidence is not None and confidence < self.confidence_trigger
+
+    # -- question construction ----------------------------------------------------------
+
+    def build_question(
+        self, original_question: str, candidates: list[str], subject: str = "interpretation"
+    ) -> ClarificationQuestion:
+        """Render candidates into an options question."""
+        if not candidates:
+            raise GuidanceError("cannot clarify without candidates")
+        pretty = [str(option).replace("_", " ") for option in candidates]
+        if len(pretty) == 1:
+            text = (
+                f"Just to confirm: by {original_question!r} you mean "
+                f"{pretty[0]}, correct?"
+            )
+        else:
+            listed = ", ".join(pretty[:-1]) + f" or {pretty[-1]}"
+            text = (
+                f"Your question {original_question!r} could refer to "
+                f"{listed}. Which one do you mean?"
+            )
+        return ClarificationQuestion(text=text, options=list(candidates), subject=subject)
+
+    # -- reply resolution ------------------------------------------------------------------
+
+    def resolve_reply(
+        self, reply: str, question: ClarificationQuestion
+    ) -> str | None:
+        """Map the user's reply to one of the offered options.
+
+        Returns None when the reply matches nothing well enough — the
+        caller should re-ask or fall back.
+        """
+        reply_lower = reply.lower().strip()
+        affirmations = {"yes", "yes please", "correct", "right", "exactly", "yep", "sure"}
+        if reply_lower in affirmations and len(question.options) == 1:
+            return question.options[0]
+        best_option = None
+        best_score = 0.0
+        for option in question.options:
+            surface = str(option).replace("_", " ").lower()
+            score = max(
+                token_overlap(reply_lower, surface),
+                trigram_similarity(reply_lower, surface),
+            )
+            if surface in reply_lower:
+                score = max(score, 1.0)
+            if score > best_score:
+                best_score = score
+                best_option = option
+        if best_option is not None and best_score >= 0.3:
+            return best_option
+        return None

@@ -1,0 +1,255 @@
+"""The conversation graph: turns, actors, artefacts, and their relations.
+
+Section 3.2 (Guidance) proposes "a new graph-based data model that
+captures the intricacies of relying on a mix of structured queries, LLMs,
+and human interactions", with nodes representing LLMs or humans.  Here:
+
+* nodes are :class:`TurnNode` objects — a user question, a system answer,
+  a clarification exchange, a suggestion, or a *speculative* turn the
+  planner imagined but never uttered;
+* edges are typed: ``replies_to``, ``clarifies``, ``answers``,
+  ``suggests``, ``speculates`` — so where-from/where-to analysis works on
+  conversations exactly like it does on data provenance.
+
+Speculative nodes are first-class: the planner writes its alternative
+scenarios into the same graph (flagged ``speculative=True``), which is
+what makes "running alternative scenarios behind the scenes" inspectable
+after the fact.
+"""
+
+from __future__ import annotations
+
+import enum
+import itertools
+from dataclasses import dataclass, field
+
+import networkx as nx
+
+from repro.errors import GuidanceError
+
+
+class TurnKind(enum.Enum):
+    """What a conversation-graph node represents."""
+
+    USER_QUESTION = "user_question"
+    SYSTEM_ANSWER = "system_answer"
+    CLARIFICATION_REQUEST = "clarification_request"
+    CLARIFICATION_REPLY = "clarification_reply"
+    SUGGESTION = "suggestion"
+    ABSTENTION = "abstention"
+    SPECULATIVE = "speculative"
+
+
+#: Edge roles the graph accepts.
+EDGE_ROLES = frozenset(
+    {"replies_to", "clarifies", "answers", "suggests", "speculates", "follows"}
+)
+
+
+@dataclass
+class TurnNode:
+    """One node: who said what (or what the planner imagined)."""
+
+    turn_id: int
+    actor: str  # "user" | "system" | "llm" | "planner"
+    kind: TurnKind
+    text: str
+    confidence: float | None = None
+    speculative: bool = False
+    metadata: dict = field(default_factory=dict)
+
+
+class ConversationGraph:
+    """Typed digraph over conversation turns."""
+
+    def __init__(self) -> None:
+        self._graph = nx.DiGraph()
+        self._nodes: dict[int, TurnNode] = {}
+        self._counter = itertools.count()
+
+    def __len__(self) -> int:
+        return len(self._nodes)
+
+    def add_turn(
+        self,
+        actor: str,
+        kind: TurnKind,
+        text: str,
+        confidence: float | None = None,
+        replies_to: int | None = None,
+        role: str = "replies_to",
+        speculative: bool = False,
+        metadata: dict | None = None,
+    ) -> TurnNode:
+        """Append a turn, optionally linked to the turn it responds to."""
+        turn = TurnNode(
+            turn_id=next(self._counter),
+            actor=actor,
+            kind=kind,
+            text=text,
+            confidence=confidence,
+            speculative=speculative,
+            metadata=metadata or {},
+        )
+        self._nodes[turn.turn_id] = turn
+        self._graph.add_node(turn.turn_id)
+        if replies_to is not None:
+            self.link(replies_to, turn.turn_id, role=role)
+        return turn
+
+    def link(self, from_id: int, to_id: int, role: str = "follows") -> None:
+        """Add a typed edge between two existing turns."""
+        if role not in EDGE_ROLES:
+            raise GuidanceError(f"unknown edge role {role!r}")
+        if from_id not in self._nodes or to_id not in self._nodes:
+            raise GuidanceError("both turns must exist before linking")
+        self._graph.add_edge(from_id, to_id, role=role)
+
+    def turn(self, turn_id: int) -> TurnNode:
+        """Fetch a turn by id."""
+        if turn_id not in self._nodes:
+            raise GuidanceError(f"no turn {turn_id}")
+        return self._nodes[turn_id]
+
+    def edges(self) -> list[tuple[int, int, str]]:
+        """All edges as ``(from_turn, to_turn, role)``."""
+        return [
+            (source, target, data.get("role", "follows"))
+            for source, target, data in self._graph.edges(data=True)
+        ]
+
+    # -- traversal -----------------------------------------------------------------
+
+    def turns(self, include_speculative: bool = False) -> list[TurnNode]:
+        """All turns in utterance order."""
+        return [
+            node
+            for node in self._nodes.values()
+            if include_speculative or not node.speculative
+        ]
+
+    def history_text(self, limit: int | None = None) -> list[str]:
+        """The uttered conversation as "actor: text" lines."""
+        lines = [
+            f"{node.actor}: {node.text}" for node in self.turns()
+        ]
+        if limit is not None:
+            return lines[-limit:]
+        return lines
+
+    def last_turn(self, kind: TurnKind | None = None) -> TurnNode | None:
+        """Most recent (non-speculative) turn, optionally of one kind."""
+        for node in reversed(self.turns()):
+            if kind is None or node.kind is kind:
+                return node
+        return None
+
+    def open_clarification(self) -> TurnNode | None:
+        """The pending clarification request, if the user has not replied."""
+        for node in reversed(self.turns()):
+            if node.kind is TurnKind.CLARIFICATION_REPLY:
+                return None
+            if node.kind is TurnKind.CLARIFICATION_REQUEST:
+                return node
+            if node.kind is TurnKind.USER_QUESTION:
+                return None
+        return None
+
+    def replies_to(self, turn_id: int) -> list[TurnNode]:
+        """Turns that respond to ``turn_id`` (any edge role)."""
+        self.turn(turn_id)
+        return [self._nodes[nid] for nid in self._graph.successors(turn_id)]
+
+    def thread_of(self, turn_id: int) -> list[TurnNode]:
+        """The chain of turns leading to ``turn_id`` (where-from analysis)."""
+        self.turn(turn_id)
+        chain = [turn_id]
+        current = turn_id
+        while True:
+            predecessors = list(self._graph.predecessors(current))
+            if not predecessors:
+                break
+            current = min(predecessors)  # earliest parent keeps chains linear
+            chain.append(current)
+        return [self._nodes[nid] for nid in reversed(chain)]
+
+    def speculative_children(self, turn_id: int) -> list[TurnNode]:
+        """The planner's imagined continuations of ``turn_id``."""
+        self.turn(turn_id)
+        return [
+            self._nodes[nid]
+            for nid in self._graph.successors(turn_id)
+            if self._nodes[nid].speculative
+        ]
+
+    # -- statistics the profiler and planner consume --------------------------------
+
+    def count_by_kind(self) -> dict[TurnKind, int]:
+        """How many (uttered) turns of each kind the conversation holds."""
+        counts: dict[TurnKind, int] = {kind: 0 for kind in TurnKind}
+        for node in self.turns():
+            counts[node.kind] += 1
+        return counts
+
+    # -- serialisation (session persistence / audit export) ---------------------
+
+    def to_dict(self) -> dict:
+        """A JSON-serialisable snapshot of the whole graph.
+
+        Conversation logs are themselves data sources in the paper's
+        architecture (layer d includes "past conversations between the
+        user and the system"); the export is what feeds them back in.
+        """
+        return {
+            "turns": [
+                {
+                    "turn_id": node.turn_id,
+                    "actor": node.actor,
+                    "kind": node.kind.value,
+                    "text": node.text,
+                    "confidence": node.confidence,
+                    "speculative": node.speculative,
+                    "metadata": dict(node.metadata),
+                }
+                for node in self._nodes.values()
+            ],
+            "edges": [
+                {"from": source, "to": target, "role": role}
+                for source, target, role in self.edges()
+            ],
+        }
+
+    @classmethod
+    def from_dict(cls, payload: dict) -> "ConversationGraph":
+        """Rebuild a graph exported by :meth:`to_dict`."""
+        graph = cls()
+        turns = sorted(payload.get("turns", []), key=lambda t: t["turn_id"])
+        id_map: dict[int, int] = {}
+        for turn in turns:
+            node = graph.add_turn(
+                actor=turn["actor"],
+                kind=TurnKind(turn["kind"]),
+                text=turn["text"],
+                confidence=turn.get("confidence"),
+                speculative=turn.get("speculative", False),
+                metadata=turn.get("metadata", {}),
+            )
+            id_map[turn["turn_id"]] = node.turn_id
+        for edge in payload.get("edges", []):
+            source = id_map.get(edge["from"])
+            target = id_map.get(edge["to"])
+            if source is None or target is None:
+                raise GuidanceError("edge references a missing turn")
+            graph.link(source, target, role=edge.get("role", "follows"))
+        return graph
+
+    def mean_confidence(self) -> float | None:
+        """Mean confidence over system answers (None with no answers)."""
+        values = [
+            node.confidence
+            for node in self.turns()
+            if node.kind is TurnKind.SYSTEM_ANSWER and node.confidence is not None
+        ]
+        if not values:
+            return None
+        return sum(values) / len(values)

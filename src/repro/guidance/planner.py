@@ -1,0 +1,122 @@
+"""Speculative conversation planning.
+
+Section 3.2 (Guidance) wants algorithms that guide the dialogue by
+"running alternative scenarios behind the scenes".  The planner does a
+one-step expected-utility lookahead over the system's candidate actions:
+
+* **answer now** — utility is the current confidence, minus the expected
+  cost of being wrong;
+* **ask a clarification** — utility is the expected confidence after the
+  user picks one of the candidates (near 1.0 for a grounding ambiguity,
+  since the reply removes it), minus a per-turn cost;
+* **suggest** — utility of proactively offering the top suggestion,
+  useful when the question itself cannot be answered.
+
+Each evaluated alternative is written into the conversation graph as a
+*speculative* node, so the planning is auditable (P3 applied to P5).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.guidance.conversation_graph import ConversationGraph, TurnKind
+
+
+@dataclass
+class PlannedAction:
+    """The planner's decision with its evaluated alternatives."""
+
+    action: str  # "answer" | "clarify" | "suggest" | "abstain"
+    utility: float
+    alternatives: dict[str, float]
+
+    def describe(self) -> str:
+        """One-line rendering of the decision and the scenario scores."""
+        ranked = ", ".join(
+            f"{name}={value:.2f}"
+            for name, value in sorted(
+                self.alternatives.items(), key=lambda pair: -pair[1]
+            )
+        )
+        return f"chose {self.action!r} (utilities: {ranked})"
+
+
+class ConversationPlanner:
+    """One-step expected-utility planner over system actions."""
+
+    def __init__(
+        self,
+        turn_cost: float = 0.15,
+        wrong_answer_cost: float = 0.6,
+        clarified_confidence: float = 0.95,
+        min_utility: float = 0.0,
+    ):
+        #: Cost of consuming one extra user turn (asking is not free).
+        self.turn_cost = turn_cost
+        #: Cost of delivering a wrong answer (reliability is asymmetric:
+        #: a wrong answer is worse than a slow one).
+        self.wrong_answer_cost = wrong_answer_cost
+        #: Expected confidence after a clarification resolves ambiguity.
+        self.clarified_confidence = clarified_confidence
+        #: Below this best utility the planner abstains entirely.
+        self.min_utility = min_utility
+
+    def plan(
+        self,
+        graph: ConversationGraph,
+        question_turn_id: int,
+        confidence: float | None,
+        ambiguous: bool,
+        can_suggest: bool,
+        suggestion_score: float = 0.5,
+    ) -> PlannedAction:
+        """Choose among answer / clarify / suggest / abstain.
+
+        ``confidence`` is the fused parse/answer confidence (None when the
+        question could not be interpreted at all).
+        """
+        alternatives: dict[str, float] = {}
+        if confidence is not None:
+            # Answering now: gain confidence, lose expected wrongness cost.
+            alternatives["answer"] = confidence - (
+                (1.0 - confidence) * self.wrong_answer_cost
+            )
+        if ambiguous or (confidence is not None and confidence < 0.99):
+            alternatives["clarify"] = self.clarified_confidence - self.turn_cost
+            if not ambiguous and confidence is not None:
+                # Clarifying a non-ambiguous question mostly confirms what
+                # we already believe; discount by what we'd learn.
+                alternatives["clarify"] -= confidence * 0.5
+        if can_suggest:
+            alternatives["suggest"] = suggestion_score - self.turn_cost
+        if not alternatives:
+            decision = PlannedAction(action="abstain", utility=0.0, alternatives={})
+            self._record(graph, question_turn_id, decision)
+            return decision
+        best_action = max(alternatives, key=lambda name: alternatives[name])
+        best_utility = alternatives[best_action]
+        if best_utility < self.min_utility:
+            best_action = "abstain"
+            best_utility = 0.0
+        decision = PlannedAction(
+            action=best_action, utility=best_utility, alternatives=alternatives
+        )
+        self._record(graph, question_turn_id, decision)
+        return decision
+
+    def _record(
+        self, graph: ConversationGraph, question_turn_id: int, decision: PlannedAction
+    ) -> None:
+        """Write the evaluated scenarios into the graph as speculative turns."""
+        for action, utility in decision.alternatives.items():
+            graph.add_turn(
+                actor="planner",
+                kind=TurnKind.SPECULATIVE,
+                text=f"scenario {action!r} with utility {utility:.2f}",
+                confidence=utility,
+                replies_to=question_turn_id,
+                role="speculates",
+                speculative=True,
+                metadata={"chosen": action == decision.action},
+            )

@@ -1,0 +1,98 @@
+"""A goal-directed simulated user for dialogue experiments.
+
+Benchmark E6 ("guidance leads users to correct answers more efficiently")
+needs many dialogues with a user whose *goal* is known, so success and
+turns-to-goal are measurable.  :class:`SimulatedUser` holds a
+:class:`UserGoal` — the intended table/columns/filters and the gold
+answer rows — and behaves like the paper's running example user:
+
+* opens with a (possibly ambiguous or vague) phrasing of the goal;
+* answers clarification questions *consistently with the goal* (picks the
+  option that mentions the goal's table or columns);
+* accepts an answer iff its rows match the gold rows;
+* gives up after ``patience`` turns.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.guidance.clarification import ClarificationQuestion
+from repro.kg.vocabulary import token_overlap
+
+
+@dataclass
+class UserGoal:
+    """What the simulated user actually wants."""
+
+    clear_question: str
+    vague_question: str
+    gold_sql: str
+    gold_rows: list[tuple]
+    #: Strings identifying the goal (table name, key columns) used to pick
+    #: among clarification options.
+    target_terms: list[str] = field(default_factory=list)
+
+
+@dataclass
+class DialogueOutcome:
+    """Result of one simulated dialogue."""
+
+    success: bool
+    turns: int
+    gave_up: bool
+    transcript: list[str] = field(default_factory=list)
+
+
+class SimulatedUser:
+    """Deterministic goal-directed user."""
+
+    def __init__(self, goal: UserGoal, ambiguous_opening: bool = True, patience: int = 6):
+        self.goal = goal
+        self.ambiguous_opening = ambiguous_opening
+        self.patience = patience
+        self.turns_spoken = 0
+
+    def opening_question(self) -> str:
+        """The first utterance (vague or clear, per configuration)."""
+        self.turns_spoken += 1
+        if self.ambiguous_opening:
+            return self.goal.vague_question
+        return self.goal.clear_question
+
+    def answer_clarification(self, question: ClarificationQuestion) -> str:
+        """Pick the option most consistent with the goal."""
+        self.turns_spoken += 1
+        best_option = None
+        best_score = -1.0
+        for option in question.options:
+            surface = str(option).replace("_", " ").lower()
+            score = 0.0
+            for term in self.goal.target_terms:
+                term_surface = term.replace("_", " ").lower()
+                if term_surface in surface or surface in term_surface:
+                    score = max(score, 1.0)
+                else:
+                    score = max(score, token_overlap(term_surface, surface))
+            if score > best_score:
+                best_score = score
+                best_option = option
+        if best_option is None:
+            return "the first one"
+        return str(best_option).replace("_", " ")
+
+    def rephrase(self) -> str:
+        """When the system abstains/fails, the user tries the clear phrasing."""
+        self.turns_spoken += 1
+        return self.goal.clear_question
+
+    def judge_answer(self, rows: list[tuple] | None) -> bool:
+        """Whether the answer matches the gold rows (order-insensitive)."""
+        if rows is None:
+            return False
+        return sorted(map(repr, rows)) == sorted(map(repr, self.goal.gold_rows))
+
+    @property
+    def exhausted(self) -> bool:
+        """Whether the user's patience has run out."""
+        return self.turns_spoken >= self.patience

@@ -1,0 +1,129 @@
+"""Entity linking: mention detection and candidate ranking over a KG.
+
+Section 3.2 (Grounding) calls for "entity extraction and entity linking
+processes [that] enrich a KG representation of both the schema and the
+contents of the data".  The linker here matches question n-grams against
+entity labels in an :class:`~repro.kg.ontology.Ontology`, scores the
+candidates with a mix of exact/trigram similarity plus a type prior, and
+returns ranked :class:`EntityLink` objects.  Ambiguity (two candidates
+with close scores) is *reported*, not resolved silently — the guidance
+layer turns it into a clarification question.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.kg.ontology import RDFS_LABEL, Ontology
+from repro.kg.vocabulary import trigram_similarity
+from repro.vector.embedding import tokenize_text
+
+
+@dataclass
+class EntityLink:
+    """One linked mention."""
+
+    mention: str
+    entity: str
+    label: str
+    score: float
+    entity_types: list[str]
+    ambiguous_with: list[str]
+
+
+class EntityLinker:
+    """Dictionary-based entity linker with trigram fallback."""
+
+    def __init__(
+        self,
+        ontology: Ontology,
+        min_score: float = 0.5,
+        ambiguity_margin: float = 0.1,
+        max_ngram: int = 3,
+    ):
+        self.ontology = ontology
+        self.min_score = min_score
+        self.ambiguity_margin = ambiguity_margin
+        self.max_ngram = max_ngram
+        self._label_index: dict[str, list[str]] = {}
+        self._build_label_index()
+
+    def _build_label_index(self) -> None:
+        for triple in self.ontology.store.match(None, RDFS_LABEL, None):
+            if isinstance(triple.object, str):
+                key = triple.object.lower()
+                self._label_index.setdefault(key, []).append(triple.subject)
+
+    def refresh(self) -> None:
+        """Rebuild the label index after ontology changes."""
+        self._label_index.clear()
+        self._build_label_index()
+
+    # -- candidate scoring ----------------------------------------------------------
+
+    def _candidates(self, phrase: str) -> list[tuple[str, float]]:
+        phrase_key = phrase.lower()
+        scored: dict[str, float] = {}
+        for entity in self._label_index.get(phrase_key, []):
+            scored[entity] = 1.0
+        for label, entities in self._label_index.items():
+            if label == phrase_key:
+                continue
+            similarity = trigram_similarity(phrase_key, label)
+            if similarity >= self.min_score:
+                for entity in entities:
+                    scored[entity] = max(scored.get(entity, 0.0), similarity)
+        return sorted(scored.items(), key=lambda pair: (-pair[1], pair[0]))
+
+    # -- public API ---------------------------------------------------------------------
+
+    def link_phrase(self, phrase: str) -> EntityLink | None:
+        """Link a single phrase to its best entity (None if below threshold)."""
+        candidates = self._candidates(phrase)
+        if not candidates:
+            return None
+        best_entity, best_score = candidates[0]
+        if best_score < self.min_score:
+            return None
+        ambiguous = [
+            entity
+            for entity, score in candidates[1:]
+            if best_score - score <= self.ambiguity_margin
+        ]
+        return EntityLink(
+            mention=phrase,
+            entity=best_entity,
+            label=self.ontology.label(best_entity),
+            score=best_score,
+            entity_types=self.ontology.types_of(best_entity),
+            ambiguous_with=ambiguous,
+        )
+
+    def link_text(self, text: str) -> list[EntityLink]:
+        """Detect and link all mentions in ``text`` (longest match first)."""
+        tokens = tokenize_text(text)
+        consumed = [False] * len(tokens)
+        links: list[EntityLink] = []
+        # Exact label hits first (longest first), then fuzzy — an exact
+        # "salary" must not lose its span to a fuzzy "salary per".
+        for exact_only in (True, False):
+            for size in range(min(self.max_ngram, len(tokens)), 0, -1):
+                for start in range(0, len(tokens) - size + 1):
+                    if any(consumed[start : start + size]):
+                        continue
+                    phrase = " ".join(tokens[start : start + size])
+                    link = self.link_phrase(phrase)
+                    if link is None:
+                        continue
+                    if exact_only and link.score < 0.999:
+                        continue
+                    threshold = 0.999 if size == 1 else self.min_score
+                    if link.score >= threshold:
+                        links.append(link)
+                        for position in range(start, start + size):
+                            consumed[position] = True
+        return links
+
+    def ambiguous_links(self, text: str) -> list[EntityLink]:
+        """Links in ``text`` that have close competitors (need clarification)."""
+        return [link for link in self.link_text(text) if link.ambiguous_with]

@@ -1,0 +1,143 @@
+"""Ontology layer: classes, subsumption, and simple reasoning.
+
+A thin RDFS-flavoured layer over :class:`~repro.kg.triple_store.
+TripleStore` using the conventional predicates::
+
+    rdf:type         instance -> class
+    rdfs:subClassOf  class -> superclass
+    rdfs:label       entity -> human label
+    rdfs:comment     entity -> definition / description
+
+Reasoning is the RDFS core the grounding layer needs: transitive
+subsumption and type inheritance ("every instance of a subclass is an
+instance of the superclass").  Subsumption cycles are rejected at insert
+time so the closure is always well-defined.
+"""
+
+from __future__ import annotations
+
+from repro.errors import OntologyError
+from repro.kg.triple_store import TripleStore
+
+RDF_TYPE = "rdf:type"
+RDFS_SUBCLASS = "rdfs:subClassOf"
+RDFS_LABEL = "rdfs:label"
+RDFS_COMMENT = "rdfs:comment"
+
+
+class Ontology:
+    """Class hierarchy and typed instances over a triple store."""
+
+    def __init__(self, store: TripleStore | None = None):
+        self.store = store if store is not None else TripleStore()
+
+    # -- schema-level assertions -----------------------------------------------------
+
+    def add_class(
+        self,
+        class_name: str,
+        label: str | None = None,
+        comment: str | None = None,
+        parent: str | None = None,
+    ) -> None:
+        """Declare a class, optionally under ``parent``."""
+        if label is not None:
+            self.store.add(class_name, RDFS_LABEL, label)
+        if comment is not None:
+            self.store.add(class_name, RDFS_COMMENT, comment)
+        if parent is not None:
+            self.add_subclass(class_name, parent)
+        else:
+            # Make the class discoverable even without instances or parents.
+            self.store.add(class_name, RDF_TYPE, "rdfs:Class")
+
+    def add_subclass(self, child: str, parent: str) -> None:
+        """Assert ``child rdfs:subClassOf parent`` (cycles rejected)."""
+        if child == parent:
+            raise OntologyError(f"{child!r} cannot be its own subclass")
+        if child in self._ancestor_set(parent):
+            raise OntologyError(
+                f"subclass edge {child!r} -> {parent!r} would create a cycle"
+            )
+        self.store.add(child, RDFS_SUBCLASS, parent)
+        self.store.add(child, RDF_TYPE, "rdfs:Class")
+        self.store.add(parent, RDF_TYPE, "rdfs:Class")
+
+    def add_instance(self, instance: str, class_name: str, label: str | None = None) -> None:
+        """Assert ``instance rdf:type class_name``."""
+        self.store.add(instance, RDF_TYPE, class_name)
+        if label is not None:
+            self.store.add(instance, RDFS_LABEL, label)
+
+    # -- reasoning ----------------------------------------------------------------------
+
+    def _ancestor_set(self, class_name: str) -> set[str]:
+        ancestors: set[str] = set()
+        frontier = [class_name]
+        while frontier:
+            current = frontier.pop()
+            for parent in self.store.objects(current, RDFS_SUBCLASS):
+                if isinstance(parent, str) and parent not in ancestors:
+                    ancestors.add(parent)
+                    frontier.append(parent)
+        return ancestors
+
+    def ancestors(self, class_name: str) -> list[str]:
+        """All (transitive) superclasses of ``class_name``."""
+        return sorted(self._ancestor_set(class_name))
+
+    def descendants(self, class_name: str) -> list[str]:
+        """All (transitive) subclasses of ``class_name``."""
+        result: set[str] = set()
+        frontier = [class_name]
+        while frontier:
+            current = frontier.pop()
+            for child in self.store.subjects(RDFS_SUBCLASS, current):
+                if child not in result:
+                    result.add(child)
+                    frontier.append(child)
+        return sorted(result)
+
+    def is_subclass_of(self, child: str, parent: str) -> bool:
+        """Whether ``child`` is (transitively) a subclass of ``parent``."""
+        return parent in self._ancestor_set(child)
+
+    def types_of(self, instance: str) -> list[str]:
+        """All classes of ``instance``, including inherited ones."""
+        direct = {
+            obj
+            for obj in self.store.objects(instance, RDF_TYPE)
+            if isinstance(obj, str) and obj != "rdfs:Class"
+        }
+        inherited: set[str] = set(direct)
+        for class_name in direct:
+            inherited |= self._ancestor_set(class_name)
+        return sorted(inherited)
+
+    def instances_of(self, class_name: str, include_subclasses: bool = True) -> list[str]:
+        """All instances of ``class_name`` (by default including subclasses)."""
+        classes = [class_name]
+        if include_subclasses:
+            classes.extend(self.descendants(class_name))
+        instances: set[str] = set()
+        for cls in classes:
+            instances.update(self.store.subjects(RDF_TYPE, cls))
+        return sorted(instances)
+
+    def is_a(self, instance: str, class_name: str) -> bool:
+        """Whether ``instance`` is an instance of ``class_name`` (with inference)."""
+        return class_name in self.types_of(instance)
+
+    # -- labels ---------------------------------------------------------------------------
+
+    def label(self, entity: str) -> str:
+        """Human label of ``entity`` (falls back to the entity name)."""
+        value = self.store.one_object(entity, RDFS_LABEL)
+        if isinstance(value, str):
+            return value
+        return entity
+
+    def comment(self, entity: str) -> str | None:
+        """Definition/description of ``entity``, if any."""
+        value = self.store.one_object(entity, RDFS_COMMENT)
+        return value if isinstance(value, str) else None

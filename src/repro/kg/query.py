@@ -1,0 +1,161 @@
+"""Basic-graph-pattern (BGP) queries over a triple store.
+
+This is the SPARQL core: a conjunction of triple patterns with shared
+variables, answered by joining pattern matches.  Patterns are reordered
+greedily by estimated selectivity before evaluation — the standard
+optimisation, and the reason grounding lookups stay interactive on the
+schema knowledge graphs the NL layer queries per question.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable
+
+from repro.errors import KGError
+from repro.kg.triple_store import ObjectValue, TripleStore
+
+
+@dataclass(frozen=True)
+class Variable:
+    """A query variable, conventionally written ``?name``."""
+
+    name: str
+
+    def __str__(self) -> str:
+        return f"?{self.name}"
+
+
+#: A pattern term: a constant or a variable.
+Term = str | int | float | bool | Variable
+
+
+@dataclass(frozen=True)
+class TriplePattern:
+    """One pattern: each position is a constant or a :class:`Variable`."""
+
+    subject: Term
+    predicate: Term
+    object: Term
+
+    def variables(self) -> set[str]:
+        """Names of the variables used in this pattern."""
+        return {
+            term.name
+            for term in (self.subject, self.predicate, self.object)
+            if isinstance(term, Variable)
+        }
+
+
+Binding = dict[str, ObjectValue]
+
+
+def _resolve(term: Term, binding: Binding) -> Term:
+    if isinstance(term, Variable) and term.name in binding:
+        return binding[term.name]
+    return term
+
+
+def _as_constant(term: Term) -> ObjectValue | None:
+    """Constant value of a term, or None when it is an unbound variable."""
+    if isinstance(term, Variable):
+        return None
+    return term
+
+
+def _pattern_selectivity(
+    pattern: TriplePattern, binding: Binding, store: TripleStore
+) -> int:
+    """Estimated number of matches for ``pattern`` under ``binding``."""
+    subject = _as_constant(_resolve(pattern.subject, binding))
+    predicate = _as_constant(_resolve(pattern.predicate, binding))
+    object_value = _as_constant(_resolve(pattern.object, binding))
+    if not isinstance(subject, (str, type(None))):
+        return 0  # a literal in subject position can never match
+    if not isinstance(predicate, (str, type(None))):
+        return 0
+    return store.count(subject, predicate, object_value)
+
+
+def _match_pattern(
+    pattern: TriplePattern, binding: Binding, store: TripleStore
+) -> list[Binding]:
+    subject_term = _resolve(pattern.subject, binding)
+    predicate_term = _resolve(pattern.predicate, binding)
+    object_term = _resolve(pattern.object, binding)
+    subject = _as_constant(subject_term)
+    predicate = _as_constant(predicate_term)
+    object_value = _as_constant(object_term)
+    if subject is not None and not isinstance(subject, str):
+        return []
+    if predicate is not None and not isinstance(predicate, str):
+        return []
+    results: list[Binding] = []
+    for triple in store.match(subject, predicate, object_value):
+        extended = dict(binding)
+        consistent = True
+        for term, value in (
+            (subject_term, triple.subject),
+            (predicate_term, triple.predicate),
+            (object_term, triple.object),
+        ):
+            if isinstance(term, Variable):
+                if term.name in extended and extended[term.name] != value:
+                    consistent = False
+                    break
+                extended[term.name] = value
+        if consistent:
+            results.append(extended)
+    return results
+
+
+def bgp_query(
+    store: TripleStore,
+    patterns: list[TriplePattern],
+    filters: list[Callable[[Binding], bool]] | None = None,
+) -> list[Binding]:
+    """Answer a conjunctive pattern query; returns variable bindings.
+
+    ``filters`` are predicates over complete bindings, applied at the end
+    (FILTER clauses).  Patterns are greedily reordered by selectivity.
+    """
+    if not patterns:
+        raise KGError("a BGP query needs at least one pattern")
+    bindings: list[Binding] = [{}]
+    remaining = list(patterns)
+    while remaining:
+        # Pick the most selective pattern under the first current binding
+        # (a cheap proxy; exact ordering would re-plan per binding).
+        probe = bindings[0] if bindings else {}
+        remaining.sort(key=lambda p: _pattern_selectivity(p, probe, store))
+        pattern = remaining.pop(0)
+        next_bindings: list[Binding] = []
+        for binding in bindings:
+            next_bindings.extend(_match_pattern(pattern, binding, store))
+        bindings = next_bindings
+        if not bindings:
+            return []
+    if filters:
+        bindings = [
+            binding
+            for binding in bindings
+            if all(check(binding) for check in filters)
+        ]
+    return bindings
+
+
+def select(
+    store: TripleStore,
+    variables: list[str],
+    patterns: list[TriplePattern],
+    filters: list[Callable[[Binding], bool]] | None = None,
+) -> list[tuple]:
+    """Project BGP results onto ``variables`` (SELECT-style), deduplicated."""
+    rows: list[tuple] = []
+    seen: set[tuple] = set()
+    for binding in bgp_query(store, patterns, filters):
+        row = tuple(binding.get(name) for name in variables)
+        if row not in seen:
+            seen.add(row)
+            rows.append(row)
+    return rows

@@ -1,0 +1,200 @@
+"""A SPARQL-core query surface for the triple store.
+
+The paper names SPARQL alongside SQL as the structured languages a CDA
+system combines ("a combination of structured languages such as SQL and
+SPARQL", Section 1).  This module parses the SPARQL core — SELECT with a
+basic graph pattern, DISTINCT, and LIMIT — into
+:class:`~repro.kg.query.TriplePattern` objects and evaluates them with
+the BGP engine::
+
+    SELECT ?col WHERE {
+        ?col cda:columnOf table:employment .
+        ?col cda:datatype "INTEGER" .
+    } LIMIT 10
+
+Literals are quoted strings, numbers, or ``true``/``false``; everything
+else (curies like ``cda:columnOf``) is an IRI term.  ``SELECT *``
+projects every variable in order of first appearance.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.errors import KGError
+from repro.kg.query import Term, TriplePattern, Variable, bgp_query
+from repro.kg.triple_store import TripleStore
+
+
+@dataclass
+class SparqlQuery:
+    """A parsed SELECT query."""
+
+    variables: list[str]  # empty means SELECT *
+    patterns: list[TriplePattern]
+    distinct: bool = False
+    limit: int | None = None
+
+
+def _tokenize(text: str) -> list[str]:
+    tokens: list[str] = []
+    position = 0
+    length = len(text)
+    while position < length:
+        char = text[position]
+        if char.isspace():
+            position += 1
+            continue
+        if char in "{}.":
+            tokens.append(char)
+            position += 1
+            continue
+        if char in "\"'":
+            end = text.find(char, position + 1)
+            if end < 0:
+                raise KGError("unterminated string literal in SPARQL query")
+            tokens.append(text[position : end + 1])
+            position = end + 1
+            continue
+        start = position
+        while position < length and not text[position].isspace() and (
+            text[position] not in "{}"
+        ):
+            position += 1
+        token = text[start:position]
+        # A trailing '.' is the triple terminator, not part of the term —
+        # unless the token is a number like "3.5".
+        if token.endswith(".") and not _is_number(token):
+            token = token[:-1]
+            if token:
+                tokens.append(token)
+            tokens.append(".")
+        else:
+            tokens.append(token)
+    return tokens
+
+
+def _is_number(token: str) -> bool:
+    try:
+        float(token)
+    except ValueError:
+        return False
+    return True
+
+
+def _parse_term(token: str) -> Term:
+    if token.startswith("?"):
+        name = token[1:]
+        if not name:
+            raise KGError("variable needs a name after '?'")
+        return Variable(name)
+    if token[0] in "\"'":
+        return token[1:-1]
+    if token == "true":
+        return True
+    if token == "false":
+        return False
+    if _is_number(token):
+        return float(token) if "." in token or "e" in token.lower() else int(token)
+    return token  # IRI / curie
+
+
+def parse_sparql(text: str) -> SparqlQuery:
+    """Parse a SELECT query into a :class:`SparqlQuery`."""
+    tokens = _tokenize(text.strip())
+    if not tokens or tokens[0].upper() != "SELECT":
+        raise KGError("query must start with SELECT")
+    position = 1
+    distinct = False
+    if position < len(tokens) and tokens[position].upper() == "DISTINCT":
+        distinct = True
+        position += 1
+    variables: list[str] = []
+    star = False
+    while position < len(tokens) and tokens[position].upper() != "WHERE":
+        token = tokens[position]
+        if token == "*":
+            star = True
+        elif token.startswith("?"):
+            variables.append(token[1:])
+        else:
+            raise KGError(f"unexpected token {token!r} in projection")
+        position += 1
+    if not star and not variables:
+        raise KGError("SELECT needs variables or *")
+    if position >= len(tokens) or tokens[position].upper() != "WHERE":
+        raise KGError("missing WHERE clause")
+    position += 1
+    if position >= len(tokens) or tokens[position] != "{":
+        raise KGError("WHERE clause must open with '{'")
+    position += 1
+    patterns: list[TriplePattern] = []
+    current: list[Term] = []
+    while position < len(tokens) and tokens[position] != "}":
+        token = tokens[position]
+        if token == ".":
+            if current:
+                if len(current) != 3:
+                    raise KGError("each triple pattern needs exactly 3 terms")
+                patterns.append(TriplePattern(*current))
+                current = []
+            position += 1
+            continue
+        current.append(_parse_term(token))
+        position += 1
+    if position >= len(tokens):
+        raise KGError("WHERE clause never closes")
+    if current:
+        if len(current) != 3:
+            raise KGError("each triple pattern needs exactly 3 terms")
+        patterns.append(TriplePattern(*current))
+    if not patterns:
+        raise KGError("WHERE clause has no triple patterns")
+    position += 1  # consume '}'
+    limit = None
+    if position < len(tokens):
+        if tokens[position].upper() != "LIMIT":
+            raise KGError(f"unexpected trailing token {tokens[position]!r}")
+        if position + 1 >= len(tokens) or not tokens[position + 1].isdigit():
+            raise KGError("LIMIT needs an integer")
+        limit = int(tokens[position + 1])
+        position += 2
+    if position < len(tokens):
+        raise KGError(f"unexpected trailing token {tokens[position]!r}")
+    if star:
+        seen: list[str] = []
+        for pattern in patterns:
+            for name in (
+                term.name
+                for term in (pattern.subject, pattern.predicate, pattern.object)
+                if isinstance(term, Variable)
+            ):
+                if name not in seen:
+                    seen.append(name)
+        variables = seen
+    return SparqlQuery(
+        variables=variables, patterns=patterns, distinct=distinct, limit=limit
+    )
+
+
+def sparql_select(store: TripleStore, text: str) -> list[tuple]:
+    """Parse and evaluate a SELECT query; returns projected binding rows."""
+    query = parse_sparql(text)
+    bindings = bgp_query(store, query.patterns)
+    rows: list[tuple] = []
+    seen: set[tuple] = set()
+    for binding in bindings:
+        missing = [name for name in query.variables if name not in binding]
+        if missing:
+            raise KGError(
+                f"projected variable(s) {missing} not bound by the pattern"
+            )
+        row = tuple(binding[name] for name in query.variables)
+        if query.distinct:
+            if row in seen:
+                continue
+            seen.add(row)
+        rows.append(row)
+        if query.limit is not None and len(rows) >= query.limit:
+            break
+    return rows

@@ -1,0 +1,151 @@
+"""Indexed RDF-style triple store.
+
+Triples are ``(subject, predicate, object)`` where subject and predicate
+are strings (IRIs or curies like ``"schema:emp"``) and the object is a
+string or a literal (int/float/bool).  Three hash-based permutation
+indexes (SPO, POS, OSP) make every single-wildcard pattern a dictionary
+lookup, which keeps grounding queries interactive — P1 and P2 touching,
+as Figure 2's property-interplay diagram has it.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.errors import KGError
+
+#: Object values may be entity names (str) or literals.
+ObjectValue = str | int | float | bool
+
+
+@dataclass(frozen=True)
+class Triple:
+    """One (subject, predicate, object) statement."""
+
+    subject: str
+    predicate: str
+    object: ObjectValue
+
+    def __post_init__(self) -> None:
+        if not self.subject or not self.predicate:
+            raise KGError("subject and predicate must be non-empty strings")
+
+
+class TripleStore:
+    """A set of triples with SPO/POS/OSP permutation indexes."""
+
+    def __init__(self) -> None:
+        self._triples: set[Triple] = set()
+        self._spo: dict[str, dict[str, set[ObjectValue]]] = {}
+        self._pos: dict[str, dict[ObjectValue, set[str]]] = {}
+        self._osp: dict[ObjectValue, dict[str, set[str]]] = {}
+
+    def __len__(self) -> int:
+        return len(self._triples)
+
+    def __contains__(self, triple: Triple) -> bool:
+        return triple in self._triples
+
+    def add(self, subject: str, predicate: str, object_value: ObjectValue) -> Triple:
+        """Insert one triple (idempotent)."""
+        triple = Triple(subject, predicate, object_value)
+        if triple in self._triples:
+            return triple
+        self._triples.add(triple)
+        self._spo.setdefault(subject, {}).setdefault(predicate, set()).add(object_value)
+        self._pos.setdefault(predicate, {}).setdefault(object_value, set()).add(subject)
+        self._osp.setdefault(object_value, {}).setdefault(subject, set()).add(predicate)
+        return triple
+
+    def add_all(self, triples: list[tuple[str, str, ObjectValue]]) -> None:
+        """Insert many triples."""
+        for subject, predicate, object_value in triples:
+            self.add(subject, predicate, object_value)
+
+    def remove(self, subject: str, predicate: str, object_value: ObjectValue) -> bool:
+        """Remove one triple; returns whether it was present."""
+        triple = Triple(subject, predicate, object_value)
+        if triple not in self._triples:
+            return False
+        self._triples.discard(triple)
+        self._spo[subject][predicate].discard(object_value)
+        self._pos[predicate][object_value].discard(subject)
+        self._osp[object_value][subject].discard(predicate)
+        return True
+
+    # -- pattern matching -----------------------------------------------------------
+
+    def match(
+        self,
+        subject: str | None = None,
+        predicate: str | None = None,
+        object_value: ObjectValue | None = None,
+    ) -> list[Triple]:
+        """All triples matching the pattern; ``None`` is a wildcard."""
+        if subject is not None and predicate is not None and object_value is not None:
+            triple = Triple(subject, predicate, object_value)
+            return [triple] if triple in self._triples else []
+        if subject is not None and predicate is not None:
+            objects = self._spo.get(subject, {}).get(predicate, set())
+            return [Triple(subject, predicate, obj) for obj in objects]
+        if predicate is not None and object_value is not None:
+            subjects = self._pos.get(predicate, {}).get(object_value, set())
+            return [Triple(subj, predicate, object_value) for subj in subjects]
+        if subject is not None and object_value is not None:
+            predicates = self._osp.get(object_value, {}).get(subject, set())
+            return [Triple(subject, pred, object_value) for pred in predicates]
+        if subject is not None:
+            return [
+                Triple(subject, pred, obj)
+                for pred, objects in self._spo.get(subject, {}).items()
+                for obj in objects
+            ]
+        if predicate is not None:
+            return [
+                Triple(subj, predicate, obj)
+                for obj, subjects in self._pos.get(predicate, {}).items()
+                for subj in subjects
+            ]
+        if object_value is not None:
+            return [
+                Triple(subj, pred, object_value)
+                for subj, predicates in self._osp.get(object_value, {}).items()
+                for pred in predicates
+            ]
+        return list(self._triples)
+
+    def count(
+        self,
+        subject: str | None = None,
+        predicate: str | None = None,
+        object_value: ObjectValue | None = None,
+    ) -> int:
+        """Number of triples matching the pattern (used for selectivity)."""
+        return len(self.match(subject, predicate, object_value))
+
+    # -- convenience accessors ----------------------------------------------------------
+
+    def objects(self, subject: str, predicate: str) -> list[ObjectValue]:
+        """All objects of ``(subject, predicate, ?)``."""
+        return sorted(
+            self._spo.get(subject, {}).get(predicate, set()), key=str
+        )
+
+    def one_object(self, subject: str, predicate: str) -> ObjectValue | None:
+        """The unique object of ``(subject, predicate, ?)``, else None."""
+        objects = self._spo.get(subject, {}).get(predicate, set())
+        if len(objects) == 1:
+            return next(iter(objects))
+        return None
+
+    def subjects(self, predicate: str, object_value: ObjectValue) -> list[str]:
+        """All subjects of ``(?, predicate, object)``."""
+        return sorted(self._pos.get(predicate, {}).get(object_value, set()))
+
+    def all_subjects(self) -> list[str]:
+        """Every distinct subject in the store."""
+        return sorted(self._spo)
+
+    def all_predicates(self) -> list[str]:
+        """Every distinct predicate in the store."""
+        return sorted(self._pos)

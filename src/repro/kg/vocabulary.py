@@ -1,0 +1,234 @@
+"""Domain vocabulary: terms, synonyms, definitions, schema bindings.
+
+This is the disambiguation substrate for P2.  A
+:class:`DomainVocabulary` maps surface language ("working force",
+"headcount", "staff") to canonical domain terms ("employment") and from
+there to the schema elements that hold the data — the step in Figure 1
+where the system understands that "working force in Switzerland" means
+the labour-market datasets.
+
+Matching is layered: exact term/synonym hit, then token-overlap scoring,
+then character-trigram fuzzy match — each cheaper layer short-circuits the
+next, and every hit reports its match kind so the explanation layer can
+say *why* a term was grounded the way it was.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.errors import KGError
+from repro.vector.embedding import tokenize_text
+
+
+@dataclass
+class VocabularyTerm:
+    """One canonical domain term with synonyms and schema bindings."""
+
+    name: str
+    definition: str = ""
+    synonyms: list[str] = field(default_factory=list)
+    #: Schema elements this term grounds to, e.g. ``"table:employment"``
+    #: or ``"column:employment.rate"``.
+    schema_bindings: list[str] = field(default_factory=list)
+    #: Optional broader term (taxonomy edge).
+    broader: str | None = None
+
+
+@dataclass
+class GroundedTerm:
+    """A vocabulary hit: the term, how it matched, and how well."""
+
+    term: VocabularyTerm
+    matched_text: str
+    match_kind: str  # "exact" | "synonym" | "token" | "fuzzy"
+    score: float
+
+
+def _trigrams(text: str) -> set[str]:
+    padded = f"  {text.lower()} "
+    return {padded[i : i + 3] for i in range(len(padded) - 2)}
+
+
+def trigram_similarity(a: str, b: str) -> float:
+    """Jaccard similarity of character trigrams (fuzzy-match kernel)."""
+    grams_a = _trigrams(a)
+    grams_b = _trigrams(b)
+    if not grams_a or not grams_b:
+        return 0.0
+    return len(grams_a & grams_b) / len(grams_a | grams_b)
+
+
+def edit_similarity(a: str, b: str) -> float:
+    """Normalised Damerau-Levenshtein (OSA) similarity.
+
+    The typo kernel: "caapcity" vs "capacity" scores 0.75, and adjacent
+    transpositions ("wieght" vs "weight") count as a single edit — the
+    dominant human typo class.  O(len(a)*len(b)) dynamic programming.
+    """
+    a = a.lower()
+    b = b.lower()
+    if a == b:
+        return 1.0
+    if not a or not b:
+        return 0.0
+    # Optimal string alignment: Levenshtein + adjacent transposition.
+    rows = [[0] * (len(b) + 1) for _ in range(len(a) + 1)]
+    for i in range(len(a) + 1):
+        rows[i][0] = i
+    for j in range(len(b) + 1):
+        rows[0][j] = j
+    for i in range(1, len(a) + 1):
+        for j in range(1, len(b) + 1):
+            cost = 0 if a[i - 1] == b[j - 1] else 1
+            rows[i][j] = min(
+                rows[i - 1][j] + 1,
+                rows[i][j - 1] + 1,
+                rows[i - 1][j - 1] + cost,
+            )
+            if (
+                i > 1
+                and j > 1
+                and a[i - 1] == b[j - 2]
+                and a[i - 2] == b[j - 1]
+            ):
+                rows[i][j] = min(rows[i][j], rows[i - 2][j - 2] + 1)
+    distance = rows[len(a)][len(b)]
+    return 1.0 - distance / max(len(a), len(b))
+
+
+def token_overlap(a: str, b: str) -> float:
+    """Jaccard similarity of word tokens."""
+    tokens_a = set(tokenize_text(a))
+    tokens_b = set(tokenize_text(b))
+    if not tokens_a or not tokens_b:
+        return 0.0
+    return len(tokens_a & tokens_b) / len(tokens_a | tokens_b)
+
+
+class DomainVocabulary:
+    """A registry of :class:`VocabularyTerm` with layered lookup."""
+
+    def __init__(self, fuzzy_threshold: float = 0.45):
+        self._terms: dict[str, VocabularyTerm] = {}
+        self._surface_index: dict[str, tuple[str, str]] = {}
+        self.fuzzy_threshold = fuzzy_threshold
+
+    def __len__(self) -> int:
+        return len(self._terms)
+
+    def __contains__(self, name: str) -> bool:
+        return name.lower() in self._terms
+
+    @property
+    def term_names(self) -> list[str]:
+        """All canonical term names."""
+        return sorted(self._terms)
+
+    def add_term(self, term: VocabularyTerm) -> None:
+        """Register a term; names and synonyms must not collide."""
+        key = term.name.lower()
+        if key in self._terms:
+            raise KGError(f"vocabulary term {term.name!r} already exists")
+        self._terms[key] = term
+        self._register_surface(term.name, key, "exact")
+        for synonym in term.synonyms:
+            self._register_surface(synonym, key, "synonym")
+
+    def _register_surface(self, surface: str, term_key: str, kind: str) -> None:
+        surface_key = surface.lower().strip()
+        existing = self._surface_index.get(surface_key)
+        if existing is not None and existing[0] != term_key:
+            raise KGError(
+                f"surface form {surface!r} already maps to {existing[0]!r}"
+            )
+        self._surface_index[surface_key] = (term_key, kind)
+
+    def term(self, name: str) -> VocabularyTerm:
+        """Fetch a term by canonical name."""
+        key = name.lower()
+        if key not in self._terms:
+            raise KGError(f"no vocabulary term {name!r}")
+        return self._terms[key]
+
+    # -- lookup layers -----------------------------------------------------------------
+
+    def lookup(self, text: str) -> GroundedTerm | None:
+        """Ground a single phrase to the best-matching term, if any."""
+        surface_key = text.lower().strip()
+        hit = self._surface_index.get(surface_key)
+        if hit is not None:
+            term_key, kind = hit
+            return GroundedTerm(
+                term=self._terms[term_key],
+                matched_text=text,
+                match_kind=kind,
+                score=1.0,
+            )
+        best: GroundedTerm | None = None
+        for term in self._terms.values():
+            surfaces = [term.name, *term.synonyms]
+            for surface in surfaces:
+                overlap = token_overlap(text, surface)
+                if overlap > 0:
+                    candidate = GroundedTerm(
+                        term=term,
+                        matched_text=surface,
+                        match_kind="token",
+                        score=overlap,
+                    )
+                    if best is None or candidate.score > best.score:
+                        best = candidate
+        if best is not None and best.score >= 0.34:
+            return best
+        for term in self._terms.values():
+            for surface in [term.name, *term.synonyms]:
+                similarity = trigram_similarity(text, surface)
+                if similarity >= self.fuzzy_threshold:
+                    candidate = GroundedTerm(
+                        term=term,
+                        matched_text=surface,
+                        match_kind="fuzzy",
+                        score=similarity,
+                    )
+                    if best is None or candidate.score > best.score:
+                        best = candidate
+        if best is not None and (
+            best.match_kind != "fuzzy" or best.score >= self.fuzzy_threshold
+        ):
+            return best
+        return None
+
+    def ground_question(self, question: str, max_ngram: int = 3) -> list[GroundedTerm]:
+        """Ground every maximal matching phrase in ``question``.
+
+        Scans word n-grams (longest first) and greedily consumes matched
+        spans, so "labour market barometer" grounds as one term rather
+        than three.
+        """
+        tokens = tokenize_text(question)
+        consumed = [False] * len(tokens)
+        grounded: list[GroundedTerm] = []
+        # Pass 1: exact term/synonym hits (all n-gram sizes, longest first),
+        # so "working force" wins over a fuzzy "the working force" overlap.
+        for exact_only in (True, False):
+            for size in range(min(max_ngram, len(tokens)), 0, -1):
+                for start in range(0, len(tokens) - size + 1):
+                    if any(consumed[start : start + size]):
+                        continue
+                    phrase = " ".join(tokens[start : start + size])
+                    hit = self.lookup(phrase)
+                    if hit is None:
+                        continue
+                    if exact_only and hit.match_kind not in ("exact", "synonym"):
+                        continue
+                    if hit.score >= (0.999 if size == 1 else 0.5):
+                        grounded.append(hit)
+                        for position in range(start, start + size):
+                            consumed[position] = True
+        return grounded
+
+    def expand(self, term_name: str) -> list[str]:
+        """Canonical name plus all synonyms of a term (query expansion)."""
+        term = self.term(term_name)
+        return [term.name, *term.synonyms]

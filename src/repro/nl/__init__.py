@@ -1,0 +1,50 @@
+"""NL model layer (layer ``c`` of Figure 1).
+
+This package hosts everything that crosses the natural-language boundary:
+
+* :mod:`repro.nl.intent` — utterance intent classification;
+* :mod:`repro.nl.grammar` — the typed logical form (query intent) that is
+  the lingua franca between NL and SQL;
+* :mod:`repro.nl.nl2sql` — the *grounded semantic parser*: NL question ->
+  logical form, using the domain vocabulary, schema knowledge graph, and
+  value index (the P2 machinery benchmark E2 ablates);
+* :mod:`repro.nl.sqlgen` — logical form -> SQL AST compilation;
+* :mod:`repro.nl.llmsim` — the :class:`SimulatedLLM`: a deterministic
+  stand-in for a hosted LLM with *controllable* hallucination behaviour
+  and deliberately miscalibrated self-reported confidence (the paper's
+  premise that "confidence scores may not accurately reflect the true
+  probability of correctness" made operational);
+* :mod:`repro.nl.constrained` — grammar-constrained decoding / rejection
+  sampling over candidate SQL;
+* :mod:`repro.nl.generation` — surface realisation of answers and
+  explanations in English;
+* :mod:`repro.nl.paraphrase` — question noising for the benchmarks.
+"""
+
+from repro.nl.grammar import AggregateSpec, FilterSpec, OrderSpec, QueryIntent
+from repro.nl.intent import IntentKind, classify_intent
+from repro.nl.nl2sql import GroundedSemanticParser, GroundingConfig, ParseOutcome
+from repro.nl.sqlgen import compile_intent
+from repro.nl.llmsim import LLMOutput, SimulatedLLM
+from repro.nl.constrained import ConstrainedDecoder, SQLValidator
+from repro.nl.generation import AnswerGenerator
+from repro.nl.paraphrase import ParaphraseGenerator
+
+__all__ = [
+    "AggregateSpec",
+    "FilterSpec",
+    "OrderSpec",
+    "QueryIntent",
+    "IntentKind",
+    "classify_intent",
+    "GroundedSemanticParser",
+    "GroundingConfig",
+    "ParseOutcome",
+    "compile_intent",
+    "LLMOutput",
+    "SimulatedLLM",
+    "ConstrainedDecoder",
+    "SQLValidator",
+    "AnswerGenerator",
+    "ParaphraseGenerator",
+]

@@ -1,0 +1,138 @@
+"""Surface realisation: turning structured results back into English.
+
+The NL model layer is bidirectional: questions come in, and answers,
+dataset summaries, clarification questions, and explanations go out.
+Generation here is template-based and therefore *faithful by
+construction* — every number in the prose is read from the result object,
+never invented, which is the cheap-but-sound end of the generation
+spectrum the paper contrasts with free LLM generation.
+"""
+
+from __future__ import annotations
+
+from repro.nl.grammar import QueryIntent
+from repro.sqldb.database import QueryResult
+
+
+def _format_value(value) -> str:
+    if value is None:
+        return "unknown"
+    if isinstance(value, float):
+        if value == int(value) and abs(value) < 1e15:
+            return str(int(value))
+        return f"{value:,.2f}"
+    return str(value)
+
+
+def _humanise(identifier: str) -> str:
+    return identifier.replace("_", " ")
+
+
+class AnswerGenerator:
+    """Template-based English rendering of answers and system turns."""
+
+    def __init__(self, max_rows_in_prose: int = 5):
+        self.max_rows_in_prose = max_rows_in_prose
+
+    # -- data answers ---------------------------------------------------------------
+
+    def render_answer(self, intent: QueryIntent, result: QueryResult) -> str:
+        """English answer for a structured query result."""
+        if result.is_empty:
+            return (
+                "No rows match this question. "
+                f"I looked for {intent.describe()} and found nothing."
+            )
+        if len(result.rows) == 1 and len(result.columns) == 1:
+            value = result.rows[0][0]
+            if intent.aggregates:
+                aggregate = intent.aggregates[0]
+                return (
+                    f"{aggregate.describe().capitalize()} "
+                    f"in {_humanise(intent.table)} is {_format_value(value)}."
+                )
+            return f"The answer is {_format_value(value)}."
+        if intent.group_by and intent.aggregates:
+            return self._render_grouped(intent, result)
+        return self._render_table(result)
+
+    def _render_grouped(self, intent: QueryIntent, result: QueryResult) -> str:
+        group_column = intent.group_by[0]
+        aggregate = intent.aggregates[0]
+        lines = [
+            f"{aggregate.describe().capitalize()} per {_humanise(group_column)}:"
+        ]
+        for row in result.rows[: self.max_rows_in_prose]:
+            record = dict(zip(result.columns, row))
+            group_value = record.get(group_column, row[0])
+            agg_value = record.get(aggregate.output_name, row[-1])
+            lines.append(
+                f"- {_format_value(group_value)}: {_format_value(agg_value)}"
+            )
+        hidden = len(result.rows) - self.max_rows_in_prose
+        if hidden > 0:
+            lines.append(f"... and {hidden} more group(s).")
+        return "\n".join(lines)
+
+    def _render_table(self, result: QueryResult) -> str:
+        header = ", ".join(_humanise(column) for column in result.columns)
+        lines = [f"I found {len(result.rows)} row(s) ({header}):"]
+        for row in result.rows[: self.max_rows_in_prose]:
+            lines.append("- " + ", ".join(_format_value(value) for value in row))
+        hidden = len(result.rows) - self.max_rows_in_prose
+        if hidden > 0:
+            lines.append(f"... and {hidden} more row(s).")
+        return "\n".join(lines)
+
+    # -- system turns -------------------------------------------------------------------
+
+    def render_interpretation(self, intent: QueryIntent) -> str:
+        """State the committed interpretation (P3: explain assumptions)."""
+        return f"I am computing {intent.describe()}."
+
+    def render_clarification(self, question_text: str, candidates: list[str]) -> str:
+        """Ask the user to pick among candidate interpretations (P5)."""
+        if not candidates:
+            return (
+                f"I could not confidently interpret {question_text!r}. "
+                "Could you rephrase it?"
+            )
+        rendered = " or ".join(_humanise(str(option)) for option in candidates)
+        return (
+            f"Your question {question_text!r} could refer to {rendered}. "
+            "Which one do you mean?"
+        )
+
+    def render_dataset_suggestions(
+        self, question_text: str, suggestions: list[tuple[str, str, float]]
+    ) -> str:
+        """Offer candidate data sources, Figure 1 turn-1 style.
+
+        ``suggestions`` rows are ``(name, description, score)``.
+        """
+        if not suggestions:
+            return "I could not find any dataset relevant to your question."
+        lines = [
+            "Our data sources contain the following candidates "
+            f"for {question_text!r}:"
+        ]
+        for name, description, score in suggestions:
+            summary = description or "no description available"
+            lines.append(
+                f"- {_humanise(name)} (relevance {score:.2f}): {summary}"
+            )
+        lines.append("Which one would you like to explore?")
+        return "\n".join(lines)
+
+    def render_abstention(self, confidence: float, threshold: float) -> str:
+        """Explain a refusal to answer (P4: abstain, and say why)."""
+        return (
+            "I am not confident enough to answer this "
+            f"(confidence {confidence:.2f}, below my threshold of "
+            f"{threshold:.2f}). Could you rephrase the question or name "
+            "the dataset you have in mind?"
+        )
+
+    def render_confidence(self, confidence: float) -> str:
+        """Confidence annotation appended to answers (Figure 1 margins)."""
+        return f"Confidence: {confidence:.0%}"

@@ -1,0 +1,199 @@
+"""The typed logical form shared by the NL and SQL layers.
+
+A :class:`QueryIntent` is the structured meaning of an analytical
+question: which table (possibly joined), which columns or aggregates,
+which filters, grouping, ordering, and limit.  Both directions of the
+paper's "multiple modalities seamlessly combined" pass through it:
+
+* the semantic parser produces a ``QueryIntent`` from English,
+* :func:`repro.nl.sqlgen.compile_intent` compiles it to the SQL AST,
+* the answer generator verbalises it back to English (so the user can
+  confirm what was *understood*, not just what was answered).
+
+Keeping the logical form explicit (instead of going text-to-text) is what
+makes constrained decoding and verification tractable.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.errors import TranslationError
+
+#: Comparison operators allowed in filters.
+FILTER_OPERATORS = ("=", "<>", "<", "<=", ">", ">=", "LIKE")
+
+#: Aggregate functions allowed in intents.
+AGGREGATE_FUNCTIONS = ("COUNT", "SUM", "AVG", "MIN", "MAX")
+
+
+@dataclass(frozen=True)
+class FilterSpec:
+    """One predicate: ``column <op> value``."""
+
+    column: str
+    operator: str
+    value: int | float | str | bool
+    #: Table holding the column (needed once joins are involved).
+    table: str | None = None
+
+    def __post_init__(self) -> None:
+        if self.operator not in FILTER_OPERATORS:
+            raise TranslationError(f"unsupported filter operator {self.operator!r}")
+
+    def describe(self) -> str:
+        """English rendering of the predicate."""
+        column = self.column.replace("_", " ")
+        op_words = {
+            "=": "is",
+            "<>": "is not",
+            "<": "is below",
+            "<=": "is at most",
+            ">": "is above",
+            ">=": "is at least",
+            "LIKE": "matches",
+        }
+        return f"{column} {op_words[self.operator]} {self.value!r}"
+
+
+@dataclass(frozen=True)
+class AggregateSpec:
+    """One aggregate: ``func(column)`` (column None means ``COUNT(*)``)."""
+
+    function: str
+    column: str | None = None
+    table: str | None = None
+
+    def __post_init__(self) -> None:
+        function = self.function.upper()
+        if function not in AGGREGATE_FUNCTIONS:
+            raise TranslationError(f"unsupported aggregate {self.function!r}")
+        object.__setattr__(self, "function", function)
+        if function != "COUNT" and self.column is None:
+            raise TranslationError(f"{function} requires a column")
+
+    @property
+    def output_name(self) -> str:
+        """Stable output alias for the aggregate column."""
+        if self.column is None:
+            return "count_all"
+        return f"{self.function.lower()}_{self.column}"
+
+    def describe(self) -> str:
+        """English rendering of the aggregate."""
+        words = {
+            "COUNT": "the number of",
+            "SUM": "the total",
+            "AVG": "the average",
+            "MIN": "the minimum",
+            "MAX": "the maximum",
+        }
+        if self.column is None:
+            return "the number of rows"
+        return f"{words[self.function]} {self.column.replace('_', ' ')}"
+
+
+@dataclass(frozen=True)
+class OrderSpec:
+    """Ordering key: an output column name plus direction."""
+
+    column: str
+    descending: bool = False
+
+
+@dataclass
+class QueryIntent:
+    """The full logical form of a structured-data question."""
+
+    table: str
+    select_columns: list[str] = field(default_factory=list)
+    aggregates: list[AggregateSpec] = field(default_factory=list)
+    filters: list[FilterSpec] = field(default_factory=list)
+    group_by: list[str] = field(default_factory=list)
+    #: Table holding the group-by columns when it is not ``table``
+    #: (requires ``join`` to reach it).
+    group_table: str | None = None
+    order_by: OrderSpec | None = None
+    limit: int | None = None
+    #: Join: (other_table, this_column, other_column), at most one hop.
+    join: tuple[str, str, str] | None = None
+    distinct: bool = False
+
+    def __post_init__(self) -> None:
+        if not self.table:
+            raise TranslationError("an intent needs a table")
+        if not self.select_columns and not self.aggregates and not self.group_by:
+            raise TranslationError(
+                "an intent needs select columns, aggregates, or grouping"
+            )
+
+    # -- structured equality for consistency-based UQ -----------------------------
+
+    def signature(self) -> tuple:
+        """Order-insensitive canonical form (two intents with the same
+        signature denote the same query)."""
+        return (
+            self.table.lower(),
+            tuple(sorted(column.lower() for column in self.select_columns)),
+            tuple(
+                sorted(
+                    (agg.function, (agg.column or "*").lower())
+                    for agg in self.aggregates
+                )
+            ),
+            tuple(
+                sorted(
+                    (
+                        (
+                            spec.column.lower(),
+                            spec.operator,
+                            str(spec.value).lower()
+                            if isinstance(spec.value, str)
+                            else spec.value,
+                        )
+                        for spec in self.filters
+                    ),
+                    # Mixed value types (str vs int) are not mutually
+                    # orderable; repr gives a total, stable order.
+                    key=repr,
+                )
+            ),
+            tuple(sorted(column.lower() for column in self.group_by)),
+            self.group_table.lower() if self.group_table else None,
+            (
+                (self.order_by.column.lower(), self.order_by.descending)
+                if self.order_by
+                else None
+            ),
+            self.limit,
+            self.join,
+            self.distinct,
+        )
+
+    def describe(self) -> str:
+        """English paraphrase of what will be computed (P3: the system
+        explains the interpretation it committed to)."""
+        parts: list[str] = []
+        if self.aggregates:
+            parts.append(" and ".join(agg.describe() for agg in self.aggregates))
+        elif self.select_columns:
+            rendered = ", ".join(c.replace("_", " ") for c in self.select_columns)
+            parts.append(f"the {rendered}")
+        parts.append(f"from {self.table.replace('_', ' ')}")
+        if self.join is not None:
+            other, _this_col, _other_col = self.join
+            parts.append(f"joined with {other.replace('_', ' ')}")
+        if self.filters:
+            rendered = " and ".join(spec.describe() for spec in self.filters)
+            parts.append(f"where {rendered}")
+        if self.group_by:
+            rendered = ", ".join(c.replace("_", " ") for c in self.group_by)
+            parts.append(f"for each {rendered}")
+        if self.order_by is not None:
+            direction = "descending" if self.order_by.descending else "ascending"
+            parts.append(
+                f"ordered by {self.order_by.column.replace('_', ' ')} {direction}"
+            )
+        if self.limit is not None:
+            parts.append(f"(top {self.limit})")
+        return " ".join(parts)

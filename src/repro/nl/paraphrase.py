@@ -1,0 +1,115 @@
+"""Question paraphrase / noise generation for the benchmarks.
+
+Benchmark E2 measures grounding robustness, which requires questions that
+do *not* match the schema verbatim.  The generator applies layered,
+seeded noise:
+
+* **synonym substitution** — replace canonical domain terms with
+  vocabulary synonyms (the realistic case grounding must handle);
+* **filler insertion** — politeness and hedging tokens;
+* **typos** — adjacent-character transposition inside a long word;
+* **article drops** — remove "the"/"a".
+
+Noise strength 0 returns the question unchanged; 1 applies every layer.
+All randomness flows through an explicit generator.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.kg.vocabulary import DomainVocabulary
+
+_FILLERS_PREFIX = (
+    "please tell me",
+    "could you tell me",
+    "i would like to know",
+    "i am wondering",
+)
+
+_FILLERS_INLINE = ("actually", "roughly", "overall")
+
+
+class ParaphraseGenerator:
+    """Seeded question noising."""
+
+    def __init__(
+        self,
+        vocabulary: DomainVocabulary | None = None,
+        rng: np.random.Generator | None = None,
+    ):
+        self.vocabulary = vocabulary
+        self.rng = rng if rng is not None else np.random.default_rng(0)
+
+    def paraphrase(self, question: str, strength: float = 0.5) -> str:
+        """Return a noised variant of ``question``.
+
+        ``strength`` in [0, 1] is the probability each noise layer fires.
+        """
+        if strength <= 0.0:
+            return question
+        text = question
+        if self.vocabulary is not None and self.rng.random() < strength:
+            text = self._substitute_synonyms(text)
+        if self.rng.random() < strength:
+            text = self._insert_filler(text)
+        if self.rng.random() < strength * 0.6:
+            text = self._typo(text)
+        if self.rng.random() < strength * 0.5:
+            text = self._drop_articles(text)
+        return text
+
+    # -- noise layers --------------------------------------------------------------
+
+    def _substitute_synonyms(self, text: str) -> str:
+        assert self.vocabulary is not None
+        lowered = text.lower()
+        for term_name in self.vocabulary.term_names:
+            term = self.vocabulary.term(term_name)
+            surfaces = [term.name, *term.synonyms]
+            present = [surface for surface in surfaces if surface.lower() in lowered]
+            if not present:
+                continue
+            alternatives = [
+                surface
+                for surface in surfaces
+                if surface.lower() != present[0].lower()
+            ]
+            if not alternatives:
+                continue
+            replacement = alternatives[int(self.rng.integers(0, len(alternatives)))]
+            lowered = lowered.replace(present[0].lower(), replacement.lower(), 1)
+        return lowered
+
+    def _insert_filler(self, text: str) -> str:
+        if self.rng.random() < 0.5:
+            prefix = _FILLERS_PREFIX[int(self.rng.integers(0, len(_FILLERS_PREFIX)))]
+            return f"{prefix} {text}"
+        words = text.split()
+        if len(words) < 3:
+            return text
+        filler = _FILLERS_INLINE[int(self.rng.integers(0, len(_FILLERS_INLINE)))]
+        position = int(self.rng.integers(1, len(words)))
+        return " ".join(words[:position] + [filler] + words[position:])
+
+    def _typo(self, text: str) -> str:
+        words = text.split()
+        long_positions = [
+            index for index, word in enumerate(words) if len(word) >= 6
+        ]
+        if not long_positions:
+            return text
+        position = long_positions[int(self.rng.integers(0, len(long_positions)))]
+        word = words[position]
+        swap_at = int(self.rng.integers(1, len(word) - 2))
+        mutated = (
+            word[:swap_at] + word[swap_at + 1] + word[swap_at] + word[swap_at + 2 :]
+        )
+        words[position] = mutated
+        return " ".join(words)
+
+    def _drop_articles(self, text: str) -> str:
+        words = [
+            word for word in text.split() if word.lower() not in ("the", "a", "an")
+        ]
+        return " ".join(words) if words else text

@@ -1,0 +1,46 @@
+"""Provenance and explanation layer (property P3, Explainability).
+
+The paper requires that "for every answer it should be possible to explain
+how the answer was computed", with two formal properties (Section 2.2):
+
+* **losslessness** — the explanation is representative of the calculations
+  and source data that produced the answer;
+* **invertibility** — individual calculations can be recovered from the
+  explanation (here: base rows can be fetched back from lineage and the
+  answer re-derived).
+
+This package provides the provenance *data model* (a typed graph of
+sources, transformations, and outputs), **how-provenance** polynomials in
+the N[X] semiring, a cross-component :class:`~repro.provenance.tracker.
+ProvenanceTracker` that accumulates records as a question flows through
+the pipeline, and explanation rendering with machine-checkable
+losslessness/invertibility verdicts.
+"""
+
+from repro.provenance.semiring import Monomial, Polynomial
+from repro.provenance.model import (
+    ProvenanceGraph,
+    ProvenanceNode,
+    ProvenanceNodeKind,
+)
+from repro.provenance.tracker import ProvenanceRecord, ProvenanceTracker
+from repro.provenance.explanation import (
+    Explanation,
+    ExplanationBuilder,
+    check_invertibility,
+    check_losslessness,
+)
+
+__all__ = [
+    "Monomial",
+    "Polynomial",
+    "ProvenanceGraph",
+    "ProvenanceNode",
+    "ProvenanceNodeKind",
+    "ProvenanceRecord",
+    "ProvenanceTracker",
+    "Explanation",
+    "ExplanationBuilder",
+    "check_invertibility",
+    "check_losslessness",
+]

@@ -1,0 +1,202 @@
+"""How-provenance polynomials over the N[X] semiring.
+
+Following the classical provenance-semiring framework (Green et al.; the
+paper cites the Herschel et al. survey [21]), each base-table row is a
+variable ``x``; relational operators combine provenance as
+
+* **join** — product of the operands' provenance,
+* **union / duplicate elimination / aggregation membership** — sum.
+
+A polynomial like ``2·a·b + c`` reads "this output row can be derived two
+ways from rows *a* and *b* together, and one way from row *c* alone".
+Specialising the variables into other semirings answers different
+questions: booleans give *which-provenance* (does the row appear?),
+natural numbers give bag multiplicity, ``min/+`` gives a cost model — so
+the polynomial is the most general (lossless) record of *how* a row was
+derived.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable, Mapping
+
+
+@dataclass(frozen=True)
+class Monomial:
+    """A product of variables with exponents, e.g. ``a^2·b``.
+
+    Stored as a frozenset of ``(variable, exponent)`` pairs so monomials
+    are hashable dictionary keys.
+    """
+
+    factors: frozenset[tuple[str, int]]
+
+    @classmethod
+    def unit(cls) -> "Monomial":
+        """The empty product (multiplicative identity)."""
+        return cls(frozenset())
+
+    @classmethod
+    def of(cls, variable: str) -> "Monomial":
+        """The monomial consisting of a single variable."""
+        return cls(frozenset({(variable, 1)}))
+
+    def multiply(self, other: "Monomial") -> "Monomial":
+        """Product of two monomials (exponents add)."""
+        exponents: dict[str, int] = dict(self.factors)
+        for variable, exponent in other.factors:
+            exponents[variable] = exponents.get(variable, 0) + exponent
+        return Monomial(frozenset(exponents.items()))
+
+    @property
+    def variables(self) -> frozenset[str]:
+        """The set of variables appearing in this monomial."""
+        return frozenset(variable for variable, _exp in self.factors)
+
+    @property
+    def degree(self) -> int:
+        """Total degree (sum of exponents)."""
+        return sum(exponent for _var, exponent in self.factors)
+
+    def __str__(self) -> str:
+        if not self.factors:
+            return "1"
+        parts = []
+        for variable, exponent in sorted(self.factors):
+            if exponent == 1:
+                parts.append(variable)
+            else:
+                parts.append(f"{variable}^{exponent}")
+        return "*".join(parts)
+
+
+@dataclass(frozen=True)
+class Polynomial:
+    """A provenance polynomial: monomials with natural-number coefficients."""
+
+    terms: frozenset[tuple[Monomial, int]]
+
+    # -- constructors -------------------------------------------------------
+
+    @classmethod
+    def zero(cls) -> "Polynomial":
+        """The additive identity (provenance of a row that does not exist)."""
+        return cls(frozenset())
+
+    @classmethod
+    def one(cls) -> "Polynomial":
+        """The multiplicative identity (provenance of an unconditional fact)."""
+        return cls(frozenset({(Monomial.unit(), 1)}))
+
+    @classmethod
+    def var(cls, variable: str) -> "Polynomial":
+        """The polynomial consisting of a single base-row variable."""
+        return cls(frozenset({(Monomial.of(variable), 1)}))
+
+    @classmethod
+    def _from_dict(cls, mapping: Mapping[Monomial, int]) -> "Polynomial":
+        cleaned = {
+            monomial: coefficient
+            for monomial, coefficient in mapping.items()
+            if coefficient != 0
+        }
+        return cls(frozenset(cleaned.items()))
+
+    # -- semiring operations --------------------------------------------------
+
+    def add(self, other: "Polynomial") -> "Polynomial":
+        """Semiring addition (union / alternative derivations)."""
+        result: dict[Monomial, int] = dict(self.terms)
+        for monomial, coefficient in other.terms:
+            result[monomial] = result.get(monomial, 0) + coefficient
+        return Polynomial._from_dict(result)
+
+    def multiply(self, other: "Polynomial") -> "Polynomial":
+        """Semiring multiplication (join / conjunctive derivations)."""
+        result: dict[Monomial, int] = {}
+        for mono_a, coeff_a in self.terms:
+            for mono_b, coeff_b in other.terms:
+                product = mono_a.multiply(mono_b)
+                result[product] = result.get(product, 0) + coeff_a * coeff_b
+        return Polynomial._from_dict(result)
+
+    def __add__(self, other: "Polynomial") -> "Polynomial":
+        return self.add(other)
+
+    def __mul__(self, other: "Polynomial") -> "Polynomial":
+        return self.multiply(other)
+
+    # -- inspection -----------------------------------------------------------
+
+    @property
+    def is_zero(self) -> bool:
+        """Whether this is the zero polynomial."""
+        return not self.terms
+
+    @property
+    def variables(self) -> frozenset[str]:
+        """All base-row variables mentioned anywhere in the polynomial."""
+        result: set[str] = set()
+        for monomial, _coefficient in self.terms:
+            result |= monomial.variables
+        return frozenset(result)
+
+    @property
+    def derivation_count(self) -> int:
+        """Number of distinct derivations (sum of coefficients)."""
+        return sum(coefficient for _monomial, coefficient in self.terms)
+
+    def evaluate(
+        self,
+        assignment: Mapping[str, object],
+        add: Callable = lambda a, b: a + b,
+        multiply: Callable = lambda a, b: a * b,
+        zero: object = 0,
+        one: object = 1,
+    ) -> object:
+        """Evaluate the polynomial under a variable assignment.
+
+        The default operations evaluate in the counting semiring; passing
+        boolean ``or``/``and`` evaluates in the which-provenance semiring,
+        ``min``/``+`` in the tropical (cost) semiring, and so on.  This is
+        the formal sense in which the polynomial is a *lossless*
+        explanation: every coarser provenance notion is a homomorphic image.
+        """
+        total = zero
+        for monomial, coefficient in self.terms:
+            term_value = one
+            for variable, exponent in monomial.factors:
+                if variable not in assignment:
+                    raise KeyError(f"no assignment for provenance variable {variable}")
+                for _ in range(exponent):
+                    term_value = multiply(term_value, assignment[variable])
+            for _ in range(coefficient):
+                total = add(total, term_value)
+        return total
+
+    def __str__(self) -> str:
+        if self.is_zero:
+            return "0"
+        rendered = []
+        for monomial, coefficient in sorted(
+            self.terms, key=lambda pair: str(pair[0])
+        ):
+            if coefficient == 1:
+                rendered.append(str(monomial))
+            else:
+                rendered.append(f"{coefficient}*{monomial}")
+        return " + ".join(rendered)
+
+
+def row_variable(table: str, row_id: int) -> str:
+    """Canonical provenance-variable name for a base row."""
+    return f"{table}:{row_id}"
+
+
+def parse_row_variable(variable: str) -> tuple[str, int]:
+    """Invert :func:`row_variable` — recover ``(table, row_id)``."""
+    table, _sep, row_id = variable.rpartition(":")
+    if not table:
+        raise ValueError(f"not a row variable: {variable!r}")
+    return table, int(row_id)

@@ -1,0 +1,147 @@
+"""Cross-component provenance accumulation.
+
+Section 3.2 (Explainability) requires provenance to be "tracked across
+components": every stage a question passes through — retrieval, grounding,
+translation, execution, analytics, generation — appends a
+:class:`ProvenanceRecord` to the session's :class:`ProvenanceTracker`.
+The tracker can then materialise the full :class:`~repro.provenance.model.
+ProvenanceGraph` for an answer, which is what explanations and
+verification consume.
+
+The tracker is deliberately dumb: append-only records with explicit input
+and output artefact ids.  Components do not need to know about each other,
+only about the artefact ids they consume and produce — this is the
+"integration mechanism that preserves reliability under composition" in
+miniature.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.provenance.model import (
+    ProvenanceGraph,
+    ProvenanceNode,
+    ProvenanceNodeKind,
+)
+
+
+@dataclass(frozen=True)
+class ProvenanceRecord:
+    """One step of processing: which component did what, from what, to what.
+
+    ``inputs`` and ``outputs`` are artefact ids.  An artefact id is any
+    stable string — canonical helpers in :mod:`repro.provenance.model`
+    cover rows/datasets/documents; components mint ids like
+    ``"sql:<hash>"`` or ``"answer:3"`` for their own artefacts.
+    """
+
+    ordinal: int
+    component: str
+    kind: ProvenanceNodeKind
+    description: str
+    inputs: tuple[str, ...]
+    outputs: tuple[str, ...]
+    metadata: dict = field(default_factory=dict, compare=False, hash=False)
+
+
+class ProvenanceTracker:
+    """Append-only log of provenance records with graph materialisation."""
+
+    def __init__(self) -> None:
+        self._records: list[ProvenanceRecord] = []
+        self._artefact_labels: dict[str, tuple[ProvenanceNodeKind, str]] = {}
+
+    def __len__(self) -> int:
+        return len(self._records)
+
+    @property
+    def records(self) -> list[ProvenanceRecord]:
+        """All records in append order."""
+        return list(self._records)
+
+    def declare_artefact(
+        self, artefact_id: str, kind: ProvenanceNodeKind, label: str
+    ) -> None:
+        """Give an artefact id a kind and a human label (idempotent)."""
+        self._artefact_labels.setdefault(artefact_id, (kind, label))
+
+    def record(
+        self,
+        component: str,
+        kind: ProvenanceNodeKind,
+        description: str,
+        inputs: list[str] | tuple[str, ...] = (),
+        outputs: list[str] | tuple[str, ...] = (),
+        metadata: dict | None = None,
+    ) -> ProvenanceRecord:
+        """Append one processing step and return its record."""
+        entry = ProvenanceRecord(
+            ordinal=len(self._records),
+            component=component,
+            kind=kind,
+            description=description,
+            inputs=tuple(inputs),
+            outputs=tuple(outputs),
+            metadata=metadata or {},
+        )
+        self._records.append(entry)
+        return entry
+
+    def records_for_component(self, component: str) -> list[ProvenanceRecord]:
+        """All records produced by ``component``."""
+        return [record for record in self._records if record.component == component]
+
+    def records_producing(self, artefact_id: str) -> list[ProvenanceRecord]:
+        """All records that list ``artefact_id`` among their outputs."""
+        return [
+            record for record in self._records if artefact_id in record.outputs
+        ]
+
+    # -- graph materialisation ---------------------------------------------------
+
+    def build_graph(self) -> ProvenanceGraph:
+        """Materialise the provenance DAG from the record log.
+
+        Each record becomes an *activity* node; each artefact id becomes a
+        node of its declared kind (default: DATASET for ids with no
+        declaration, which keeps the graph total rather than failing).
+        """
+        graph = ProvenanceGraph()
+        for record in self._records:
+            activity_id = f"activity:{record.ordinal}:{record.component}"
+            graph.add_node(
+                ProvenanceNode(
+                    node_id=activity_id,
+                    kind=record.kind,
+                    label=record.description,
+                    metadata=dict(record.metadata),
+                )
+            )
+            for artefact_id in record.inputs:
+                graph.add_node(self._artefact_node(artefact_id))
+                graph.add_edge(artefact_id, activity_id, role="used")
+            for artefact_id in record.outputs:
+                graph.add_node(self._artefact_node(artefact_id))
+                graph.add_edge(activity_id, artefact_id, role="generated")
+        return graph
+
+    def _artefact_node(self, artefact_id: str) -> ProvenanceNode:
+        kind, label = self._artefact_labels.get(
+            artefact_id, (_infer_kind(artefact_id), artefact_id)
+        )
+        return ProvenanceNode(node_id=artefact_id, kind=kind, label=label)
+
+
+def _infer_kind(artefact_id: str) -> ProvenanceNodeKind:
+    """Best-effort kind inference from canonical id prefixes."""
+    prefix, _sep, _rest = artefact_id.partition(":")
+    mapping = {
+        "row": ProvenanceNodeKind.SOURCE_ROW,
+        "dataset": ProvenanceNodeKind.DATASET,
+        "doc": ProvenanceNodeKind.DOCUMENT,
+        "answer": ProvenanceNodeKind.ANSWER,
+        "turn": ProvenanceNodeKind.USER_TURN,
+        "sql": ProvenanceNodeKind.QUERY,
+    }
+    return mapping.get(prefix, ProvenanceNodeKind.DATASET)

@@ -1,0 +1,29 @@
+"""Document & dataset retrieval (part of layer ``b``, Figure 1).
+
+The first turn of the paper's example — "give me an overview of the
+working force in Switzerland" — is a *dataset discovery* problem: find
+the data sources relevant to a vague topical request.  This package
+provides the retrieval stack:
+
+* :mod:`repro.retrieval.documents` — an in-memory document store;
+* :mod:`repro.retrieval.bm25` — the classic lexical ranking function;
+* :mod:`repro.retrieval.hybrid` — lexical + dense (hashing-embedder)
+  retrieval with reciprocal-rank fusion;
+* :mod:`repro.retrieval.dataset_search` — discovery over the dataset
+  registry's names, descriptions, and column metadata.
+"""
+
+from repro.retrieval.documents import Document, DocumentStore
+from repro.retrieval.bm25 import BM25Index
+from repro.retrieval.hybrid import HybridRetriever, RetrievalHit
+from repro.retrieval.dataset_search import DatasetSearchEngine, DatasetHit
+
+__all__ = [
+    "Document",
+    "DocumentStore",
+    "BM25Index",
+    "HybridRetriever",
+    "RetrievalHit",
+    "DatasetSearchEngine",
+    "DatasetHit",
+]

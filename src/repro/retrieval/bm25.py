@@ -1,0 +1,101 @@
+"""Okapi BM25 lexical ranking.
+
+The standard probabilistic ranking function (k1/b parametrisation) over
+the document store, built on an inverted index so scoring touches only
+documents containing at least one query term.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+
+from repro.errors import CDAError
+from repro.retrieval.documents import Document, DocumentStore
+from repro.vector.embedding import tokenize_text
+
+
+@dataclass
+class ScoredDocument:
+    """One ranked hit."""
+
+    doc_id: str
+    score: float
+
+
+class BM25Index:
+    """Inverted-index BM25 over a :class:`DocumentStore`."""
+
+    def __init__(self, k1: float = 1.5, b: float = 0.75):
+        if k1 <= 0 or not (0.0 <= b <= 1.0):
+            raise CDAError("k1 must be > 0 and b in [0, 1]")
+        self.k1 = k1
+        self.b = b
+        self._postings: dict[str, dict[str, int]] = {}
+        self._doc_lengths: dict[str, int] = {}
+        self._average_length = 0.0
+        self._n_documents = 0
+
+    def build(self, store: DocumentStore) -> None:
+        """Index every document currently in ``store``."""
+        self._postings.clear()
+        self._doc_lengths.clear()
+        total_length = 0
+        for document in store.documents():
+            tokens = tokenize_text(document.full_text)
+            self._doc_lengths[document.doc_id] = len(tokens)
+            total_length += len(tokens)
+            frequencies: dict[str, int] = {}
+            for token in tokens:
+                frequencies[token] = frequencies.get(token, 0) + 1
+            for token, frequency in frequencies.items():
+                self._postings.setdefault(token, {})[document.doc_id] = frequency
+        self._n_documents = len(self._doc_lengths)
+        self._average_length = (
+            total_length / self._n_documents if self._n_documents else 0.0
+        )
+
+    def add_document(self, document: Document) -> None:
+        """Incrementally index one more document."""
+        tokens = tokenize_text(document.full_text)
+        previous_total = self._average_length * self._n_documents
+        self._doc_lengths[document.doc_id] = len(tokens)
+        self._n_documents = len(self._doc_lengths)
+        self._average_length = (previous_total + len(tokens)) / self._n_documents
+        frequencies: dict[str, int] = {}
+        for token in tokens:
+            frequencies[token] = frequencies.get(token, 0) + 1
+        for token, frequency in frequencies.items():
+            self._postings.setdefault(token, {})[document.doc_id] = frequency
+
+    def _idf(self, term: str) -> float:
+        containing = len(self._postings.get(term, {}))
+        # BM25+-style floor at 0 avoids negative IDF for very common terms.
+        return max(
+            0.0,
+            math.log(
+                (self._n_documents - containing + 0.5) / (containing + 0.5) + 1.0
+            ),
+        )
+
+    def search(self, query: str, k: int = 10) -> list[ScoredDocument]:
+        """Top-k documents for ``query`` by BM25 score."""
+        if self._n_documents == 0:
+            return []
+        scores: dict[str, float] = {}
+        for term in tokenize_text(query):
+            postings = self._postings.get(term)
+            if not postings:
+                continue
+            idf = self._idf(term)
+            for doc_id, frequency in postings.items():
+                length_norm = 1.0 - self.b + self.b * (
+                    self._doc_lengths[doc_id] / self._average_length
+                )
+                term_score = idf * (
+                    frequency * (self.k1 + 1.0)
+                    / (frequency + self.k1 * length_norm)
+                )
+                scores[doc_id] = scores.get(doc_id, 0.0) + term_score
+        ranked = sorted(scores.items(), key=lambda pair: (-pair[1], pair[0]))
+        return [ScoredDocument(doc_id=d, score=s) for d, s in ranked[:k]]

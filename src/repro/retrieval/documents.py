@@ -1,0 +1,83 @@
+"""In-memory document store with provenance-friendly identities.
+
+Documents carry a stable ``doc_id`` and a ``source`` field (URL, file
+path, dataset name) so retrieval answers can cite where text came from —
+the "coupled with the source where the answer was found" behaviour of
+Figure 1's barometer turn.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.errors import CDAError
+
+
+@dataclass
+class Document:
+    """One retrievable text with its citation metadata."""
+
+    doc_id: str
+    title: str
+    text: str
+    source: str = ""
+    metadata: dict = field(default_factory=dict)
+
+    def __post_init__(self) -> None:
+        if not self.doc_id:
+            raise CDAError("doc_id must be non-empty")
+
+    @property
+    def full_text(self) -> str:
+        """Title + body, what the indexes consume."""
+        return f"{self.title}\n{self.text}"
+
+    def snippet(self, max_chars: int = 200) -> str:
+        """A short citation-ready excerpt."""
+        body = " ".join(self.text.split())
+        if len(body) <= max_chars:
+            return body
+        return body[: max_chars - 3] + "..."
+
+
+class DocumentStore:
+    """Ordered, id-indexed document collection."""
+
+    def __init__(self) -> None:
+        self._documents: dict[str, Document] = {}
+
+    def __len__(self) -> int:
+        return len(self._documents)
+
+    def __contains__(self, doc_id: str) -> bool:
+        return doc_id in self._documents
+
+    def add(self, document: Document) -> None:
+        """Register a document; ids must be unique."""
+        if document.doc_id in self._documents:
+            raise CDAError(f"document {document.doc_id!r} already exists")
+        self._documents[document.doc_id] = document
+
+    def add_text(
+        self, doc_id: str, title: str, text: str, source: str = "", **metadata
+    ) -> Document:
+        """Convenience constructor + registration."""
+        document = Document(
+            doc_id=doc_id, title=title, text=text, source=source, metadata=metadata
+        )
+        self.add(document)
+        return document
+
+    def get(self, doc_id: str) -> Document:
+        """Fetch by id."""
+        if doc_id not in self._documents:
+            raise CDAError(f"no document {doc_id!r}")
+        return self._documents[doc_id]
+
+    def documents(self) -> list[Document]:
+        """All documents in insertion order."""
+        return list(self._documents.values())
+
+    def ids(self) -> list[str]:
+        """All document ids in insertion order."""
+        return list(self._documents)

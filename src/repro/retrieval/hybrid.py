@@ -1,0 +1,129 @@
+"""Hybrid lexical + dense retrieval with reciprocal-rank fusion.
+
+Section 3.2 calls for "effective dense representations ... in a unified
+space" alongside classical retrieval.  The hybrid retriever runs BM25 and
+a dense (hashing-embedder + brute-force cosine) ranker in parallel and
+fuses the rankings with reciprocal-rank fusion (RRF) — robust to the two
+scorers living on incomparable scales.  Benchmark E8 compares the three
+against each other on dataset discovery.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.retrieval.bm25 import BM25Index
+from repro.retrieval.documents import DocumentStore
+from repro.vector.base import VectorIndex
+from repro.vector.brute import BruteForceIndex
+from repro.vector.dataset import VectorDataset
+from repro.vector.distance import Metric
+from repro.vector.embedding import HashingEmbedder
+
+
+@dataclass
+class RetrievalHit:
+    """One fused hit with its per-ranker evidence."""
+
+    doc_id: str
+    score: float
+    lexical_rank: int | None = None
+    dense_rank: int | None = None
+
+
+def reciprocal_rank_fusion(
+    rankings: list[list[str]], k: int = 60
+) -> list[tuple[str, float]]:
+    """RRF: score(d) = sum over rankings of 1/(k + rank(d))."""
+    scores: dict[str, float] = {}
+    for ranking in rankings:
+        for position, doc_id in enumerate(ranking, start=1):
+            scores[doc_id] = scores.get(doc_id, 0.0) + 1.0 / (k + position)
+    return sorted(scores.items(), key=lambda pair: (-pair[1], pair[0]))
+
+
+class HybridRetriever:
+    """BM25 + dense retrieval fused by RRF."""
+
+    def __init__(
+        self,
+        store: DocumentStore,
+        embedder: HashingEmbedder | None = None,
+        dense_index: VectorIndex | None = None,
+        rrf_k: int = 60,
+    ):
+        self.store = store
+        self.embedder = embedder if embedder is not None else HashingEmbedder(dim=96)
+        self.rrf_k = rrf_k
+        self.bm25 = BM25Index()
+        self._dense = dense_index
+        self._built = False
+
+    def build(self) -> None:
+        """Index the current contents of the document store."""
+        self.bm25.build(self.store)
+        documents = self.store.documents()
+        if documents:
+            matrix = self.embedder.embed_batch(
+                [document.full_text for document in documents]
+            )
+            dataset = VectorDataset(
+                vectors=matrix, ids=[document.doc_id for document in documents]
+            )
+            if self._dense is None:
+                self._dense = BruteForceIndex(metric=Metric.COSINE)
+            self._dense.build(dataset)
+        self._built = True
+
+    # -- single-ranker access (benchmark conditions) --------------------------------
+
+    def search_lexical(self, query: str, k: int = 10) -> list[RetrievalHit]:
+        """BM25-only ranking."""
+        self._require_built()
+        return [
+            RetrievalHit(doc_id=hit.doc_id, score=hit.score, lexical_rank=rank)
+            for rank, hit in enumerate(self.bm25.search(query, k), start=1)
+        ]
+
+    def search_dense(self, query: str, k: int = 10) -> list[RetrievalHit]:
+        """Dense-only ranking (cosine over hashing embeddings)."""
+        self._require_built()
+        if self._dense is None or not self._dense.is_built:
+            return []
+        result = self._dense.search(self.embedder.embed(query), k)
+        return [
+            RetrievalHit(doc_id=doc_id, score=-distance, dense_rank=rank)
+            for rank, (doc_id, distance) in enumerate(
+                zip(result.ids, result.distances), start=1
+            )
+        ]
+
+    # -- fused access ------------------------------------------------------------------
+
+    def search(self, query: str, k: int = 10) -> list[RetrievalHit]:
+        """Hybrid RRF ranking."""
+        self._require_built()
+        pool = max(k * 3, 10)
+        lexical = self.search_lexical(query, pool)
+        dense = self.search_dense(query, pool)
+        fused = reciprocal_rank_fusion(
+            [[hit.doc_id for hit in lexical], [hit.doc_id for hit in dense]],
+            k=self.rrf_k,
+        )
+        lexical_ranks = {hit.doc_id: hit.lexical_rank for hit in lexical}
+        dense_ranks = {hit.doc_id: hit.dense_rank for hit in dense}
+        return [
+            RetrievalHit(
+                doc_id=doc_id,
+                score=score,
+                lexical_rank=lexical_ranks.get(doc_id),
+                dense_rank=dense_ranks.get(doc_id),
+            )
+            for doc_id, score in fused[:k]
+        ]
+
+    def _require_built(self) -> None:
+        if not self._built:
+            self.build()

@@ -1,0 +1,141 @@
+"""Selective answering: the abstention decision and its evaluation.
+
+"The system should be able to refrain from producing answers when unable
+to produce any answer with sufficient certainty" (P4).  A
+:class:`SelectiveAnsweringPolicy` turns a confidence into an
+answer/abstain decision; :func:`risk_coverage_curve` evaluates a policy
+family across thresholds the way the selective-prediction literature
+does: *coverage* is the fraction of questions answered, *risk* the error
+rate among those — benchmark E4's output.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.errors import AbstentionError, SoundnessError
+
+
+@dataclass
+class AbstentionDecision:
+    """One decision: answer or abstain, with the evidence."""
+
+    answered: bool
+    confidence: float
+    threshold: float
+
+    @property
+    def abstained(self) -> bool:
+        """Inverse of ``answered`` (readability helper)."""
+        return not self.answered
+
+
+class SelectiveAnsweringPolicy:
+    """Threshold policy with an optional hard-abstain on failed verification."""
+
+    def __init__(self, threshold: float = 0.6, abstain_on_failed_verification: bool = True):
+        if not (0.0 <= threshold <= 1.0):
+            raise SoundnessError("threshold must be in [0, 1]")
+        self.threshold = threshold
+        self.abstain_on_failed_verification = abstain_on_failed_verification
+
+    def decide(
+        self, confidence: float, verification_passed: bool | None = None
+    ) -> AbstentionDecision:
+        """Answer iff confidence clears the threshold (and verification,
+        when required, did not fail)."""
+        if (
+            self.abstain_on_failed_verification
+            and verification_passed is False
+        ):
+            return AbstentionDecision(
+                answered=False, confidence=confidence, threshold=self.threshold
+            )
+        return AbstentionDecision(
+            answered=confidence >= self.threshold,
+            confidence=confidence,
+            threshold=self.threshold,
+        )
+
+    def require_answer(
+        self, confidence: float, verification_passed: bool | None = None
+    ) -> None:
+        """Raise :class:`~repro.errors.AbstentionError` when abstaining."""
+        decision = self.decide(confidence, verification_passed)
+        if decision.abstained:
+            raise AbstentionError(
+                "confidence below the answering threshold",
+                confidence=confidence,
+                threshold=self.threshold,
+            )
+
+
+@dataclass
+class RiskCoveragePoint:
+    """One (threshold, coverage, risk) point of the curve."""
+
+    threshold: float
+    coverage: float
+    risk: float
+    n_answered: int
+
+
+def risk_coverage_curve(
+    confidences, correctness, thresholds=None
+) -> list[RiskCoveragePoint]:
+    """Sweep thresholds; report coverage and selective risk at each.
+
+    Risk at zero coverage is defined as 0 (no answers, no errors).
+    """
+    conf = np.asarray(confidences, dtype=np.float64)
+    correct = np.asarray(correctness, dtype=np.float64)
+    if conf.shape != correct.shape or conf.ndim != 1 or len(conf) == 0:
+        raise SoundnessError("need equal-length, non-empty 1-d inputs")
+    if thresholds is None:
+        thresholds = np.linspace(0.0, 1.0, 21)
+    points: list[RiskCoveragePoint] = []
+    total = len(conf)
+    for threshold in thresholds:
+        answered = conf >= threshold
+        n_answered = int(answered.sum())
+        coverage = n_answered / total
+        if n_answered == 0:
+            risk = 0.0
+        else:
+            risk = float(1.0 - correct[answered].mean())
+        points.append(
+            RiskCoveragePoint(
+                threshold=float(threshold),
+                coverage=coverage,
+                risk=risk,
+                n_answered=n_answered,
+            )
+        )
+    return points
+
+
+def area_under_risk_coverage(points: list[RiskCoveragePoint]) -> float:
+    """Trapezoidal area under the risk-coverage curve (lower = better).
+
+    Points are sorted by coverage first; a curve that keeps risk low while
+    coverage grows has small area.
+    """
+    if not points:
+        raise SoundnessError("need at least one point")
+    ordered = sorted(points, key=lambda point: point.coverage)
+    area = 0.0
+    for previous, current in zip(ordered[:-1], ordered[1:]):
+        width = current.coverage - previous.coverage
+        area += width * (current.risk + previous.risk) / 2.0
+    return float(area)
+
+
+def accuracy_at_coverage(points: list[RiskCoveragePoint], coverage: float) -> float:
+    """Selective accuracy (1-risk) at the smallest coverage >= target."""
+    eligible = [point for point in points if point.coverage >= coverage]
+    if not eligible:
+        return float("nan")
+    best = min(eligible, key=lambda point: point.coverage)
+    return 1.0 - best.risk

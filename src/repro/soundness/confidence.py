@@ -1,0 +1,97 @@
+"""Confidence fusion: one score, itemised.
+
+A CDA answer accrues evidence from several places — the generator's
+self-report, sample agreement (consistency UQ), how well the question
+grounded, and whether verification passed.  :func:`fuse_confidence`
+combines them into a single number *and keeps the parts*, because the
+paper requires confidence itself to be explainable ("provide either a
+confidence score for the entire answer or for parts of the answer",
+Section 3.2).
+
+The fusion rule is deliberately simple and monotone:
+
+* start from the most trustworthy probabilistic signal available
+  (consistency agreement if present, else the self-report),
+* scale by the grounding score (a shaky interpretation caps confidence),
+* a failed verification collapses confidence to near zero — evidence
+  beats belief.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.errors import SoundnessError
+
+#: Confidence assigned when verification explicitly fails.
+VERIFICATION_FAILURE_CONFIDENCE = 0.05
+
+
+@dataclass
+class ConfidenceBreakdown:
+    """A fused confidence with its contributing parts."""
+
+    value: float
+    parts: dict[str, float] = field(default_factory=dict)
+    notes: list[str] = field(default_factory=list)
+
+    def describe(self) -> str:
+        """One-line explanation of where the number came from."""
+        rendered = ", ".join(
+            f"{name}={value:.2f}" for name, value in sorted(self.parts.items())
+        )
+        suffix = f" ({'; '.join(self.notes)})" if self.notes else ""
+        return f"confidence {self.value:.2f} from [{rendered}]{suffix}"
+
+
+def fuse_confidence(
+    self_reported: float | None = None,
+    consistency: float | None = None,
+    grounding: float | None = None,
+    verification_passed: bool | None = None,
+) -> ConfidenceBreakdown:
+    """Combine the available soundness signals into one score.
+
+    At least one of ``self_reported`` / ``consistency`` must be given.
+    """
+    parts: dict[str, float] = {}
+    notes: list[str] = []
+    if consistency is not None:
+        _check_unit(consistency, "consistency")
+        base = consistency
+        parts["consistency"] = consistency
+        if self_reported is not None:
+            _check_unit(self_reported, "self_reported")
+            parts["self_reported"] = self_reported
+            notes.append("using sample agreement over self-report")
+    elif self_reported is not None:
+        _check_unit(self_reported, "self_reported")
+        base = self_reported
+        parts["self_reported"] = self_reported
+        notes.append("no consistency signal; self-report only")
+    else:
+        raise SoundnessError(
+            "need self_reported or consistency to fuse a confidence"
+        )
+    value = base
+    if grounding is not None:
+        _check_unit(grounding, "grounding")
+        parts["grounding"] = grounding
+        value = value * (0.5 + 0.5 * grounding)
+        if grounding < 0.5:
+            notes.append("weak grounding caps confidence")
+    if verification_passed is not None:
+        parts["verification"] = 1.0 if verification_passed else 0.0
+        if verification_passed:
+            # Verified answers keep their score; verification is a gate,
+            # not a boost (passing it is the expected case).
+            notes.append("verification passed")
+        else:
+            value = min(value, VERIFICATION_FAILURE_CONFIDENCE)
+            notes.append("verification FAILED; confidence collapsed")
+    return ConfidenceBreakdown(value=float(min(max(value, 0.0), 1.0)), parts=parts, notes=notes)
+
+
+def _check_unit(value: float, name: str) -> None:
+    if not (0.0 <= value <= 1.0):
+        raise SoundnessError(f"{name} must be in [0, 1], got {value}")

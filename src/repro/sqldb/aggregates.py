@@ -1,0 +1,214 @@
+"""Aggregate function implementations with SQL NULL semantics.
+
+Each aggregate is a small accumulator object (``step`` per row,
+``finalize`` at group end) so the executor can run all aggregates of a
+query in a single pass per group.  NULL inputs are skipped (per the SQL
+standard); ``COUNT(*)`` counts rows regardless.
+"""
+
+from __future__ import annotations
+
+import math
+
+from repro.errors import ExecutionError
+from repro.sqldb.types import SQLValue
+
+
+class Aggregator:
+    """Base accumulator: subclasses implement ``step`` and ``finalize``."""
+
+    def step(self, value: SQLValue) -> None:
+        raise NotImplementedError
+
+    def finalize(self) -> SQLValue:
+        raise NotImplementedError
+
+
+class CountAggregator(Aggregator):
+    """``COUNT(expr)`` — counts non-NULL values."""
+
+    def __init__(self) -> None:
+        self._count = 0
+
+    def step(self, value: SQLValue) -> None:
+        if value is not None:
+            self._count += 1
+
+    def finalize(self) -> SQLValue:
+        return self._count
+
+
+class CountStarAggregator(Aggregator):
+    """``COUNT(*)`` — counts rows."""
+
+    def __init__(self) -> None:
+        self._count = 0
+
+    def step(self, value: SQLValue) -> None:
+        self._count += 1
+
+    def finalize(self) -> SQLValue:
+        return self._count
+
+
+def _require_number(value: SQLValue, function: str) -> int | float:
+    if isinstance(value, bool) or not isinstance(value, (int, float)):
+        raise ExecutionError(f"{function} requires numeric input, got {value!r}")
+    return value
+
+
+class SumAggregator(Aggregator):
+    """``SUM(expr)`` — NULL over an empty/all-NULL group."""
+
+    def __init__(self) -> None:
+        self._total: int | float = 0
+        self._seen = False
+
+    def step(self, value: SQLValue) -> None:
+        if value is None:
+            return
+        self._total += _require_number(value, "SUM")
+        self._seen = True
+
+    def finalize(self) -> SQLValue:
+        return self._total if self._seen else None
+
+
+class AvgAggregator(Aggregator):
+    """``AVG(expr)`` — NULL over an empty/all-NULL group."""
+
+    def __init__(self) -> None:
+        self._total = 0.0
+        self._count = 0
+
+    def step(self, value: SQLValue) -> None:
+        if value is None:
+            return
+        self._total += float(_require_number(value, "AVG"))
+        self._count += 1
+
+    def finalize(self) -> SQLValue:
+        if self._count == 0:
+            return None
+        return self._total / self._count
+
+
+class MinAggregator(Aggregator):
+    """``MIN(expr)`` over any comparable type; NULLs skipped."""
+
+    def __init__(self) -> None:
+        self._best: SQLValue = None
+
+    def step(self, value: SQLValue) -> None:
+        if value is None:
+            return
+        if self._best is None or value < self._best:
+            self._best = value
+
+    def finalize(self) -> SQLValue:
+        return self._best
+
+
+class MaxAggregator(Aggregator):
+    """``MAX(expr)`` over any comparable type; NULLs skipped."""
+
+    def __init__(self) -> None:
+        self._best: SQLValue = None
+
+    def step(self, value: SQLValue) -> None:
+        if value is None:
+            return
+        if self._best is None or value > self._best:
+            self._best = value
+
+    def finalize(self) -> SQLValue:
+        return self._best
+
+
+class VarianceAggregator(Aggregator):
+    """Sample variance via Welford's online algorithm (numerically stable)."""
+
+    def __init__(self) -> None:
+        self._count = 0
+        self._mean = 0.0
+        self._m2 = 0.0
+
+    def step(self, value: SQLValue) -> None:
+        if value is None:
+            return
+        number = float(_require_number(value, "VARIANCE"))
+        self._count += 1
+        delta = number - self._mean
+        self._mean += delta / self._count
+        self._m2 += delta * (number - self._mean)
+
+    def finalize(self) -> SQLValue:
+        if self._count < 2:
+            return None
+        return self._m2 / (self._count - 1)
+
+
+class StddevAggregator(VarianceAggregator):
+    """Sample standard deviation."""
+
+    def finalize(self) -> SQLValue:
+        variance = super().finalize()
+        if variance is None:
+            return None
+        return math.sqrt(variance)
+
+
+class DistinctAggregator(Aggregator):
+    """Wrap another aggregator so each distinct non-NULL value steps once."""
+
+    def __init__(self, inner: Aggregator):
+        self._inner = inner
+        self._seen: set = set()
+
+    def step(self, value: SQLValue) -> None:
+        if value is None:
+            return
+        if value in self._seen:
+            return
+        self._seen.add(value)
+        self._inner.step(value)
+
+    def finalize(self) -> SQLValue:
+        return self._inner.finalize()
+
+
+_FACTORIES = {
+    "COUNT": CountAggregator,
+    "SUM": SumAggregator,
+    "AVG": AvgAggregator,
+    "MIN": MinAggregator,
+    "MAX": MaxAggregator,
+    "STDDEV": StddevAggregator,
+    "VARIANCE": VarianceAggregator,
+}
+
+
+def make_aggregator(name: str, star: bool = False, distinct: bool = False) -> Aggregator:
+    """Build the accumulator for aggregate ``name``.
+
+    ``star`` selects ``COUNT(*)`` semantics (only valid for COUNT);
+    ``distinct`` wraps the accumulator to deduplicate inputs.
+    """
+    key = name.upper()
+    if star:
+        if key != "COUNT":
+            raise ExecutionError(f"{key}(*) is not a valid aggregate")
+        if distinct:
+            raise ExecutionError("COUNT(DISTINCT *) is not valid SQL")
+        return CountStarAggregator()
+    if key not in _FACTORIES:
+        raise ExecutionError(f"unknown aggregate: {name}")
+    aggregator = _FACTORIES[key]()
+    if distinct:
+        return DistinctAggregator(aggregator)
+    return aggregator
+
+
+def aggregate_names() -> list[str]:
+    """All supported aggregate names, sorted."""
+    return sorted(_FACTORIES)

@@ -1,0 +1,456 @@
+"""Typed abstract syntax tree for the supported SQL dialect.
+
+The AST doubles as the engine's *logical form of record*: the NL2SQL
+semantic parser produces these nodes directly (bypassing text), the
+constrained decoder validates candidate SQL by checking it parses into
+them, and the provenance layer stores them as the "query provenance"
+component of every explanation.  Every node knows how to render itself
+back to SQL text (:meth:`to_sql`), which keeps the representation lossless
+in the Section 2.2 sense: text -> AST -> text is identity up to
+whitespace.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+
+class Node:
+    """Base class for all AST nodes."""
+
+    def to_sql(self) -> str:
+        raise NotImplementedError
+
+
+# --------------------------------------------------------------------------
+# Expressions
+# --------------------------------------------------------------------------
+
+
+class Expression(Node):
+    """Base class for scalar and boolean expressions."""
+
+
+@dataclass(frozen=True)
+class Literal(Expression):
+    """A constant: integer, float, string, boolean, or NULL."""
+
+    value: int | float | str | bool | None
+
+    def to_sql(self) -> str:
+        if self.value is None:
+            return "NULL"
+        if isinstance(self.value, bool):
+            return "TRUE" if self.value else "FALSE"
+        if isinstance(self.value, str):
+            escaped = self.value.replace("'", "''")
+            return f"'{escaped}'"
+        return repr(self.value)
+
+
+@dataclass(frozen=True)
+class ColumnRef(Expression):
+    """A (possibly qualified) column reference."""
+
+    name: str
+    table: str | None = None
+
+    def to_sql(self) -> str:
+        if self.table:
+            return f"{self.table}.{self.name}"
+        return self.name
+
+
+@dataclass(frozen=True)
+class Star(Expression):
+    """``*`` or ``table.*`` in a select list or inside COUNT(*)."""
+
+    table: str | None = None
+
+    def to_sql(self) -> str:
+        if self.table:
+            return f"{self.table}.*"
+        return "*"
+
+
+@dataclass(frozen=True)
+class BinaryOp(Expression):
+    """A binary operator application, e.g. ``a + b`` or ``x AND y``."""
+
+    operator: str
+    left: Expression
+    right: Expression
+
+    def to_sql(self) -> str:
+        return f"({self.left.to_sql()} {self.operator} {self.right.to_sql()})"
+
+
+@dataclass(frozen=True)
+class UnaryOp(Expression):
+    """A unary operator application: ``NOT x`` or ``-x``."""
+
+    operator: str
+    operand: Expression
+
+    def to_sql(self) -> str:
+        if self.operator.upper() == "NOT":
+            return f"(NOT {self.operand.to_sql()})"
+        return f"({self.operator}{self.operand.to_sql()})"
+
+
+@dataclass(frozen=True)
+class IsNull(Expression):
+    """``expr IS [NOT] NULL``."""
+
+    operand: Expression
+    negated: bool = False
+
+    def to_sql(self) -> str:
+        middle = "IS NOT NULL" if self.negated else "IS NULL"
+        return f"({self.operand.to_sql()} {middle})"
+
+
+@dataclass(frozen=True)
+class InList(Expression):
+    """``expr [NOT] IN (v1, v2, ...)``."""
+
+    operand: Expression
+    items: tuple[Expression, ...]
+    negated: bool = False
+
+    def to_sql(self) -> str:
+        rendered = ", ".join(item.to_sql() for item in self.items)
+        keyword = "NOT IN" if self.negated else "IN"
+        return f"({self.operand.to_sql()} {keyword} ({rendered}))"
+
+
+@dataclass(frozen=True)
+class Between(Expression):
+    """``expr [NOT] BETWEEN low AND high``."""
+
+    operand: Expression
+    low: Expression
+    high: Expression
+    negated: bool = False
+
+    def to_sql(self) -> str:
+        keyword = "NOT BETWEEN" if self.negated else "BETWEEN"
+        return (
+            f"({self.operand.to_sql()} {keyword} "
+            f"{self.low.to_sql()} AND {self.high.to_sql()})"
+        )
+
+
+@dataclass(frozen=True)
+class Like(Expression):
+    """``expr [NOT] LIKE pattern`` with ``%`` and ``_`` wildcards."""
+
+    operand: Expression
+    pattern: Expression
+    negated: bool = False
+
+    def to_sql(self) -> str:
+        keyword = "NOT LIKE" if self.negated else "LIKE"
+        return f"({self.operand.to_sql()} {keyword} {self.pattern.to_sql()})"
+
+
+@dataclass(frozen=True)
+class FunctionCall(Expression):
+    """A scalar function call, e.g. ``UPPER(name)``."""
+
+    name: str
+    args: tuple[Expression, ...]
+
+    def to_sql(self) -> str:
+        rendered = ", ".join(arg.to_sql() for arg in self.args)
+        return f"{self.name.upper()}({rendered})"
+
+
+@dataclass(frozen=True)
+class AggregateCall(Expression):
+    """An aggregate call, e.g. ``SUM(amount)`` or ``COUNT(DISTINCT id)``."""
+
+    name: str
+    argument: Expression
+    distinct: bool = False
+
+    def to_sql(self) -> str:
+        inner = self.argument.to_sql()
+        if self.distinct:
+            inner = f"DISTINCT {inner}"
+        return f"{self.name.upper()}({inner})"
+
+
+@dataclass(frozen=True)
+class ScalarSubquery(Expression):
+    """``(SELECT ...)`` used as a scalar value.
+
+    Uncorrelated only: the inner statement cannot reference outer-scope
+    columns.  An empty inner result evaluates to NULL; more than one row
+    or column is an execution error.
+    """
+
+    statement: "SelectStatement"
+
+    def to_sql(self) -> str:
+        return f"({self.statement.to_sql()})"
+
+
+@dataclass(frozen=True)
+class InSubquery(Expression):
+    """``expr [NOT] IN (SELECT ...)`` (uncorrelated)."""
+
+    operand: Expression
+    statement: "SelectStatement"
+    negated: bool = False
+
+    def to_sql(self) -> str:
+        keyword = "NOT IN" if self.negated else "IN"
+        return f"({self.operand.to_sql()} {keyword} ({self.statement.to_sql()}))"
+
+
+@dataclass(frozen=True)
+class CaseWhen(Expression):
+    """``CASE WHEN cond THEN value [...] [ELSE value] END``."""
+
+    branches: tuple[tuple[Expression, Expression], ...]
+    default: Expression | None = None
+
+    def to_sql(self) -> str:
+        parts = ["CASE"]
+        for condition, value in self.branches:
+            parts.append(f"WHEN {condition.to_sql()} THEN {value.to_sql()}")
+        if self.default is not None:
+            parts.append(f"ELSE {self.default.to_sql()}")
+        parts.append("END")
+        return " ".join(parts)
+
+
+# --------------------------------------------------------------------------
+# Statements
+# --------------------------------------------------------------------------
+
+
+@dataclass(frozen=True)
+class SelectItem(Node):
+    """One entry of the select list: an expression plus optional alias."""
+
+    expression: Expression
+    alias: str | None = None
+
+    def to_sql(self) -> str:
+        if self.alias:
+            return f"{self.expression.to_sql()} AS {self.alias}"
+        return self.expression.to_sql()
+
+    def output_name(self, ordinal: int) -> str:
+        """The column name this item produces in the result."""
+        if self.alias:
+            return self.alias
+        if isinstance(self.expression, ColumnRef):
+            return self.expression.name
+        return f"col_{ordinal}"
+
+
+@dataclass(frozen=True)
+class TableRef(Node):
+    """A base-table reference with an optional alias."""
+
+    name: str
+    alias: str | None = None
+
+    def to_sql(self) -> str:
+        if self.alias:
+            return f"{self.name} AS {self.alias}"
+        return self.name
+
+    @property
+    def binding(self) -> str:
+        """The name this table is visible under in the query scope."""
+        return self.alias or self.name
+
+
+@dataclass(frozen=True)
+class Join(Node):
+    """A join clause attached to the preceding FROM item."""
+
+    kind: str  # "INNER" | "LEFT" | "CROSS"
+    table: TableRef
+    condition: Expression | None = None
+
+    def to_sql(self) -> str:
+        if self.kind == "CROSS":
+            return f"CROSS JOIN {self.table.to_sql()}"
+        assert self.condition is not None
+        return f"{self.kind} JOIN {self.table.to_sql()} ON {self.condition.to_sql()}"
+
+
+@dataclass(frozen=True)
+class OrderItem(Node):
+    """One ORDER BY key."""
+
+    expression: Expression
+    descending: bool = False
+
+    def to_sql(self) -> str:
+        direction = "DESC" if self.descending else "ASC"
+        return f"{self.expression.to_sql()} {direction}"
+
+
+@dataclass(frozen=True)
+class SelectStatement(Node):
+    """A full SELECT query (optionally the left arm of UNION [ALL])."""
+
+    items: tuple[SelectItem, ...]
+    from_table: TableRef | None = None
+    joins: tuple[Join, ...] = ()
+    where: Expression | None = None
+    group_by: tuple[Expression, ...] = ()
+    having: Expression | None = None
+    order_by: tuple[OrderItem, ...] = ()
+    limit: int | None = None
+    offset: int | None = None
+    distinct: bool = False
+    #: UNION continuation: (keep_duplicates, right-hand statement).
+    union: tuple[bool, "SelectStatement"] | None = None
+
+    def to_sql(self) -> str:
+        parts = ["SELECT"]
+        if self.distinct:
+            parts.append("DISTINCT")
+        parts.append(", ".join(item.to_sql() for item in self.items))
+        if self.from_table is not None:
+            parts.append(f"FROM {self.from_table.to_sql()}")
+            for join in self.joins:
+                parts.append(join.to_sql())
+        if self.where is not None:
+            parts.append(f"WHERE {self.where.to_sql()}")
+        if self.group_by:
+            rendered = ", ".join(expr.to_sql() for expr in self.group_by)
+            parts.append(f"GROUP BY {rendered}")
+        if self.having is not None:
+            parts.append(f"HAVING {self.having.to_sql()}")
+        if self.order_by:
+            rendered = ", ".join(item.to_sql() for item in self.order_by)
+            parts.append(f"ORDER BY {rendered}")
+        if self.limit is not None:
+            parts.append(f"LIMIT {self.limit}")
+        if self.offset is not None:
+            parts.append(f"OFFSET {self.offset}")
+        if self.union is not None:
+            keep_duplicates, right = self.union
+            keyword = "UNION ALL" if keep_duplicates else "UNION"
+            parts.append(f"{keyword} {right.to_sql()}")
+        return " ".join(parts)
+
+
+@dataclass(frozen=True)
+class ColumnDef(Node):
+    """One column definition inside CREATE TABLE."""
+
+    name: str
+    type_name: str
+    not_null: bool = False
+    primary_key: bool = False
+
+    def to_sql(self) -> str:
+        parts = [self.name, self.type_name]
+        if self.primary_key:
+            parts.append("PRIMARY KEY")
+        if self.not_null:
+            parts.append("NOT NULL")
+        return " ".join(parts)
+
+
+@dataclass(frozen=True)
+class CreateTableStatement(Node):
+    """``CREATE TABLE name (col type [constraints], ...)``."""
+
+    name: str
+    columns: tuple[ColumnDef, ...]
+
+    def to_sql(self) -> str:
+        rendered = ", ".join(column.to_sql() for column in self.columns)
+        return f"CREATE TABLE {self.name} ({rendered})"
+
+
+@dataclass(frozen=True)
+class InsertStatement(Node):
+    """``INSERT INTO name [(cols)] VALUES (...), (...)``."""
+
+    table: str
+    columns: tuple[str, ...]
+    rows: tuple[tuple[Expression, ...], ...]
+
+    def to_sql(self) -> str:
+        column_list = f" ({', '.join(self.columns)})" if self.columns else ""
+        rendered_rows = ", ".join(
+            "(" + ", ".join(value.to_sql() for value in row) + ")"
+            for row in self.rows
+        )
+        return f"INSERT INTO {self.table}{column_list} VALUES {rendered_rows}"
+
+
+Statement = SelectStatement | CreateTableStatement | InsertStatement
+
+
+# --------------------------------------------------------------------------
+# AST utilities
+# --------------------------------------------------------------------------
+
+
+def walk_expression(expression: Expression):
+    """Yield ``expression`` and every sub-expression, depth first."""
+    yield expression
+    if isinstance(expression, BinaryOp):
+        yield from walk_expression(expression.left)
+        yield from walk_expression(expression.right)
+    elif isinstance(expression, UnaryOp):
+        yield from walk_expression(expression.operand)
+    elif isinstance(expression, IsNull):
+        yield from walk_expression(expression.operand)
+    elif isinstance(expression, InList):
+        yield from walk_expression(expression.operand)
+        for item in expression.items:
+            yield from walk_expression(item)
+    elif isinstance(expression, Between):
+        yield from walk_expression(expression.operand)
+        yield from walk_expression(expression.low)
+        yield from walk_expression(expression.high)
+    elif isinstance(expression, Like):
+        yield from walk_expression(expression.operand)
+        yield from walk_expression(expression.pattern)
+    elif isinstance(expression, FunctionCall):
+        for arg in expression.args:
+            yield from walk_expression(arg)
+    elif isinstance(expression, AggregateCall):
+        yield from walk_expression(expression.argument)
+    elif isinstance(expression, CaseWhen):
+        for condition, value in expression.branches:
+            yield from walk_expression(condition)
+            yield from walk_expression(value)
+        if expression.default is not None:
+            yield from walk_expression(expression.default)
+    elif isinstance(expression, InSubquery):
+        yield from walk_expression(expression.operand)
+        # The inner statement is a separate scope; its expressions are
+        # deliberately not walked (outer-scope analyses must not see them).
+
+
+def collect_column_refs(expression: Expression) -> list[ColumnRef]:
+    """All :class:`ColumnRef` nodes inside ``expression`` (document order)."""
+    return [
+        node for node in walk_expression(expression) if isinstance(node, ColumnRef)
+    ]
+
+
+def collect_aggregates(expression: Expression) -> list[AggregateCall]:
+    """All :class:`AggregateCall` nodes inside ``expression``."""
+    return [
+        node for node in walk_expression(expression) if isinstance(node, AggregateCall)
+    ]
+
+
+def contains_aggregate(expression: Expression) -> bool:
+    """Whether ``expression`` contains any aggregate call."""
+    return bool(collect_aggregates(expression))

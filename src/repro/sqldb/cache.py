@@ -1,0 +1,102 @@
+"""Query-result caching with version-based invalidation.
+
+Section 3.2 (Efficiency): the whole pipeline "should be accessible by a
+holistic optimizer, which identifies optimization opportunities, such as
+caching, batched computations, and sharing of computation".  Caching is
+the piece a conversational workload rewards most — users revisit the
+same aggregates while drilling around them — and the piece that is
+*dangerous* without reliability machinery: a stale cached answer is a
+silent soundness violation.
+
+The cache is therefore versioned, not timed: every table carries a
+monotonically increasing version bumped on any mutation, and a cache
+entry records the versions of every table its query touched.  A lookup
+whose recorded versions differ from the live ones is a miss, never a
+stale hit — correctness by construction, measured in benchmark E11.
+"""
+
+from __future__ import annotations
+
+from collections import OrderedDict
+from dataclasses import dataclass
+
+from repro.errors import CDAError
+from repro.sqldb import ast
+
+
+@dataclass
+class CacheStats:
+    """Hit/miss counters."""
+
+    hits: int = 0
+    misses: int = 0
+    invalidations: int = 0
+
+    @property
+    def hit_rate(self) -> float:
+        """Hits over lookups (0 when never used)."""
+        total = self.hits + self.misses
+        return self.hits / total if total else 0.0
+
+
+def referenced_tables(statement: ast.SelectStatement) -> list[str]:
+    """Names of every table a SELECT reads (FROM plus JOINs)."""
+    names: list[str] = []
+    if statement.from_table is not None:
+        names.append(statement.from_table.name.lower())
+    for join in statement.joins:
+        names.append(join.table.name.lower())
+    return names
+
+
+class QueryCache:
+    """LRU cache of SELECT results keyed by (canonical SQL, table versions)."""
+
+    def __init__(self, max_entries: int = 256):
+        if max_entries <= 0:
+            raise CDAError("max_entries must be positive")
+        self.max_entries = max_entries
+        self._entries: OrderedDict[str, tuple[tuple, object]] = OrderedDict()
+        self.stats = CacheStats()
+
+    def __len__(self) -> int:
+        return len(self._entries)
+
+    def _versions(self, statement: ast.SelectStatement, catalog) -> tuple:
+        return tuple(
+            (name, catalog.table(name).version)
+            for name in referenced_tables(statement)
+        )
+
+    def get(self, statement: ast.SelectStatement, catalog):
+        """The cached result, or None on miss / version change."""
+        key = statement.to_sql()
+        entry = self._entries.get(key)
+        if entry is None:
+            self.stats.misses += 1
+            return None
+        versions, result = entry
+        try:
+            current = self._versions(statement, catalog)
+        except Exception:  # noqa: BLE001 - dropped table: invalidate
+            current = None
+        if current != versions:
+            del self._entries[key]
+            self.stats.invalidations += 1
+            self.stats.misses += 1
+            return None
+        self._entries.move_to_end(key)
+        self.stats.hits += 1
+        return result
+
+    def put(self, statement: ast.SelectStatement, catalog, result) -> None:
+        """Store a result under the current table versions."""
+        key = statement.to_sql()
+        self._entries[key] = (self._versions(statement, catalog), result)
+        self._entries.move_to_end(key)
+        while len(self._entries) > self.max_entries:
+            self._entries.popitem(last=False)
+
+    def clear(self) -> None:
+        """Drop every entry (stats are kept)."""
+        self._entries.clear()

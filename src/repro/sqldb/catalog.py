@@ -1,0 +1,155 @@
+"""Database catalog: the named collection of tables plus schema metadata.
+
+The catalog is also the bridge to the grounding layer (P2): it can export
+a structural description of itself that :mod:`repro.kg.schema_kg` turns
+into a queryable schema knowledge graph.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.errors import CatalogError
+from repro.sqldb.table import Table
+
+
+@dataclass
+class ForeignKey:
+    """A declared foreign-key relationship (metadata only, not enforced)."""
+
+    table: str
+    column: str
+    referenced_table: str
+    referenced_column: str
+
+
+@dataclass
+class Catalog:
+    """Name-indexed table registry with relationship metadata."""
+
+    _tables: dict[str, Table] = field(default_factory=dict)
+    _foreign_keys: list[ForeignKey] = field(default_factory=list)
+
+    def __len__(self) -> int:
+        return len(self._tables)
+
+    def __contains__(self, name: str) -> bool:
+        return name.lower() in self._tables
+
+    @property
+    def table_names(self) -> list[str]:
+        """Registered table names in registration order."""
+        return [table.name for table in self._tables.values()]
+
+    def add_table(self, table: Table) -> None:
+        """Register ``table``; the name must be free."""
+        key = table.name.lower()
+        if key in self._tables:
+            raise CatalogError(f"table {table.name!r} already exists")
+        self._tables[key] = table
+
+    def drop_table(self, name: str) -> None:
+        """Remove the table named ``name`` and any foreign keys touching it."""
+        key = name.lower()
+        if key not in self._tables:
+            raise CatalogError(f"no such table: {name!r}")
+        del self._tables[key]
+        self._foreign_keys = [
+            fk
+            for fk in self._foreign_keys
+            if fk.table.lower() != key and fk.referenced_table.lower() != key
+        ]
+
+    def table(self, name: str) -> Table:
+        """Fetch the table named ``name`` (case-insensitive)."""
+        key = name.lower()
+        if key not in self._tables:
+            raise CatalogError(f"no such table: {name!r}")
+        return self._tables[key]
+
+    def tables(self) -> list[Table]:
+        """All registered tables."""
+        return list(self._tables.values())
+
+    # -- relationships ----------------------------------------------------------
+
+    def add_foreign_key(
+        self,
+        table: str,
+        column: str,
+        referenced_table: str,
+        referenced_column: str,
+    ) -> None:
+        """Declare that ``table.column`` references ``referenced_table.referenced_column``."""
+        source = self.table(table)
+        target = self.table(referenced_table)
+        if not source.schema.has_column(column):
+            raise CatalogError(f"no column {column!r} in table {table!r}")
+        if not target.schema.has_column(referenced_column):
+            raise CatalogError(
+                f"no column {referenced_column!r} in table {referenced_table!r}"
+            )
+        self._foreign_keys.append(
+            ForeignKey(
+                table=source.name,
+                column=source.schema.column(column).name,
+                referenced_table=target.name,
+                referenced_column=target.schema.column(referenced_column).name,
+            )
+        )
+
+    @property
+    def foreign_keys(self) -> list[ForeignKey]:
+        """All declared foreign keys."""
+        return list(self._foreign_keys)
+
+    def join_path(self, table_a: str, table_b: str) -> ForeignKey | None:
+        """A foreign key directly connecting the two tables, if any."""
+        key_a = table_a.lower()
+        key_b = table_b.lower()
+        for fk in self._foreign_keys:
+            pair = {fk.table.lower(), fk.referenced_table.lower()}
+            if pair == {key_a, key_b}:
+                return fk
+        return None
+
+    # -- description export (consumed by the grounding layer) --------------------
+
+    def describe(self) -> dict:
+        """A plain-dict structural description of the catalog.
+
+        The NL layer uses this instead of a textual schema dump: the paper
+        proposes encoding schema descriptions "in appropriate knowledge
+        bases" rather than prompting with prose (Section 3.2, Grounding).
+        """
+        tables = []
+        for table in self._tables.values():
+            tables.append(
+                {
+                    "name": table.name,
+                    "description": table.description,
+                    "row_count": len(table),
+                    "primary_key": table.primary_key,
+                    "columns": [
+                        {
+                            "name": column.name,
+                            "type": column.type.value,
+                            "nullable": column.nullable,
+                            "description": column.description,
+                        }
+                        for column in table.schema
+                    ],
+                }
+            )
+        return {
+            "tables": tables,
+            "foreign_keys": [
+                {
+                    "table": fk.table,
+                    "column": fk.column,
+                    "referenced_table": fk.referenced_table,
+                    "referenced_column": fk.referenced_column,
+                }
+                for fk in self._foreign_keys
+            ],
+        }

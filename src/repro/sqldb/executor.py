@@ -1,0 +1,675 @@
+"""Query executor with built-in provenance capture.
+
+The executor evaluates a :class:`~repro.sqldb.ast.SelectStatement` against
+a :class:`~repro.sqldb.catalog.Catalog` one operator at a time: scan →
+join → filter → group/aggregate → having → project → distinct → sort →
+limit.  Each intermediate row carries
+
+* **where-lineage** — the set of ``(table, row_id)`` base rows it derives
+  from, and
+* optionally a **how-provenance** polynomial (see
+  :mod:`repro.provenance.semiring`), with joins multiplying and
+  duplicate-merging/grouping adding.
+
+Capturing lineage is what lets the explainability layer (P3) produce
+lossless, invertible explanations, and the soundness layer (P4) re-derive
+answers from their cited sources.
+"""
+
+from __future__ import annotations
+
+import functools
+from dataclasses import dataclass
+
+from repro.errors import ExecutionError
+from repro.provenance.semiring import Polynomial, row_variable
+from repro.sqldb import ast
+from repro.sqldb.aggregates import make_aggregator
+from repro.sqldb.catalog import Catalog
+from repro.sqldb.expressions import (
+    BoundColumn,
+    ExpressionEvaluator,
+    RowContext,
+    RowLayout,
+)
+from repro.sqldb.types import SQLValue
+
+#: A where-lineage set: base rows as (table_name, row_id) pairs.
+Lineage = frozenset[tuple[str, int]]
+
+EMPTY_LINEAGE: Lineage = frozenset()
+
+
+@dataclass
+class ExecRow:
+    """One intermediate row: values plus provenance annotations."""
+
+    values: tuple[SQLValue, ...]
+    lineage: Lineage
+    how: Polynomial | None
+
+
+@dataclass
+class Relation:
+    """An operator output: a shared layout and a list of rows."""
+
+    layout: RowLayout
+    rows: list[ExecRow]
+
+
+@dataclass
+class SelectResult:
+    """The final output of executing a SELECT."""
+
+    columns: list[str]
+    rows: list[tuple[SQLValue, ...]]
+    lineage: list[Lineage]
+    how: list[Polynomial] | None
+    scanned_rows: int
+
+
+class SelectExecutor:
+    """Executes SELECT statements against a catalog.
+
+    ``capture_lineage`` controls where-provenance (cheap set unions);
+    ``capture_how`` additionally maintains N[X] polynomials (costlier —
+    benchmark E5 quantifies the overhead).
+    """
+
+    def __init__(
+        self,
+        catalog: Catalog,
+        capture_lineage: bool = True,
+        capture_how: bool = False,
+    ):
+        self._catalog = catalog
+        self._capture_lineage = capture_lineage
+        self._capture_how = capture_how
+        self._scanned_rows = 0
+
+    # -- public entry point ------------------------------------------------------
+
+    def execute(self, statement: ast.SelectStatement) -> SelectResult:
+        """Run ``statement`` (and any UNION arms) with provenance."""
+        result = self._execute_single(statement)
+        if statement.union is None:
+            return result
+        keep_duplicates, right_statement = statement.union
+        right = self.execute(right_statement)
+        if len(right.columns) != len(result.columns):
+            raise ExecutionError(
+                "UNION arms must have the same number of columns "
+                f"({len(result.columns)} vs {len(right.columns)})"
+            )
+        rows = result.rows + right.rows
+        lineage = result.lineage + right.lineage
+        how = None
+        if result.how is not None and right.how is not None:
+            how = result.how + right.how
+        if not keep_duplicates:
+            merged: dict[tuple, int] = {}
+            kept_rows: list[tuple] = []
+            kept_lineage: list[Lineage] = []
+            kept_how: list[Polynomial] | None = [] if how is not None else None
+            for index, row in enumerate(rows):
+                key = tuple(row)
+                if key in merged:
+                    target = merged[key]
+                    kept_lineage[target] = kept_lineage[target] | lineage[index]
+                    if kept_how is not None:
+                        kept_how[target] = kept_how[target] + how[index]
+                    continue
+                merged[key] = len(kept_rows)
+                kept_rows.append(row)
+                kept_lineage.append(lineage[index])
+                if kept_how is not None:
+                    kept_how.append(how[index])
+            rows, lineage, how = kept_rows, kept_lineage, kept_how
+        return SelectResult(
+            columns=result.columns,
+            rows=rows,
+            lineage=lineage,
+            how=how,
+            scanned_rows=result.scanned_rows + right.scanned_rows,
+        )
+
+    def _run_subquery(self, statement: ast.SelectStatement) -> list[tuple]:
+        """Execute an uncorrelated subquery; lineage is not propagated
+        (the subquery acts as a computed constant for the outer query)."""
+        nested = SelectExecutor(
+            self._catalog, capture_lineage=False, capture_how=False
+        )
+        result = nested.execute(statement)
+        self._scanned_rows += result.scanned_rows
+        return result.rows
+
+    def _evaluator(
+        self, aggregate_slots: dict[str, int] | None = None
+    ) -> ExpressionEvaluator:
+        return ExpressionEvaluator(
+            aggregate_slots, subquery_runner=self._run_subquery
+        )
+
+    def _execute_single(self, statement: ast.SelectStatement) -> SelectResult:
+        self._scanned_rows = 0
+        relation = self._build_from(statement)
+        if statement.where is not None:
+            relation = self._filter(relation, statement.where)
+        aggregates = self._collect_aggregates(statement)
+        if statement.group_by or aggregates:
+            relation, aggregate_slots = self._group(relation, statement, aggregates)
+        else:
+            aggregate_slots = {}
+        if statement.having is not None:
+            if not statement.group_by and not aggregates:
+                raise ExecutionError("HAVING requires GROUP BY or aggregates")
+            evaluator = self._evaluator(aggregate_slots)
+            relation = self._filter(relation, statement.having, evaluator)
+        columns, projected = self._project(relation, statement, aggregate_slots)
+        if statement.distinct:
+            projected = self._distinct(projected)
+        if statement.order_by:
+            projected = self._sort(
+                projected, relation, statement, columns, aggregate_slots
+            )
+        projected = self._limit(projected, statement.limit, statement.offset)
+        rows = [row.values for _pre, row in projected]
+        lineage = [row.lineage for _pre, row in projected]
+        how = [row.how for _pre, row in projected] if self._capture_how else None
+        return SelectResult(
+            columns=columns,
+            rows=rows,
+            lineage=lineage,
+            how=how,
+            scanned_rows=self._scanned_rows,
+        )
+
+    # -- provenance helpers --------------------------------------------------------
+
+    def _base_row(self, table_name: str, row_id: int) -> tuple[Lineage, Polynomial | None]:
+        lineage: Lineage = (
+            frozenset({(table_name, row_id)}) if self._capture_lineage else EMPTY_LINEAGE
+        )
+        how = (
+            Polynomial.var(row_variable(table_name, row_id))
+            if self._capture_how
+            else None
+        )
+        return lineage, how
+
+    def _merge_join(self, left: ExecRow, right: ExecRow) -> tuple[Lineage, Polynomial | None]:
+        lineage = left.lineage | right.lineage if self._capture_lineage else EMPTY_LINEAGE
+        how = None
+        if self._capture_how:
+            assert left.how is not None and right.how is not None
+            how = left.how * right.how
+        return lineage, how
+
+    def _merge_union(self, rows: list[ExecRow]) -> tuple[Lineage, Polynomial | None]:
+        lineage: Lineage = EMPTY_LINEAGE
+        if self._capture_lineage:
+            combined: set[tuple[str, int]] = set()
+            for row in rows:
+                combined |= row.lineage
+            lineage = frozenset(combined)
+        how = None
+        if self._capture_how:
+            how = Polynomial.zero()
+            for row in rows:
+                assert row.how is not None
+                how = how + row.how
+        return lineage, how
+
+    # -- FROM / JOIN -------------------------------------------------------------
+
+    def _build_from(self, statement: ast.SelectStatement) -> Relation:
+        if statement.from_table is None:
+            layout = RowLayout([])
+            one = Polynomial.one() if self._capture_how else None
+            return Relation(layout, [ExecRow((), EMPTY_LINEAGE, one)])
+        relation = self._scan(statement.from_table)
+        for join in statement.joins:
+            right = self._scan(join.table)
+            if join.kind == "CROSS":
+                relation = self._cross_join(relation, right)
+            elif join.kind == "INNER":
+                relation = self._inner_join(relation, right, join.condition)
+            elif join.kind == "LEFT":
+                relation = self._left_join(relation, right, join.condition)
+            else:
+                raise ExecutionError(f"unsupported join kind {join.kind!r}")
+        return relation
+
+    def _scan(self, table_ref: ast.TableRef) -> Relation:
+        table = self._catalog.table(table_ref.name)
+        binding = table_ref.binding
+        layout = RowLayout(
+            [BoundColumn(binding=binding, name=column.name) for column in table.schema]
+        )
+        rows: list[ExecRow] = []
+        for row_id, values in table.rows_with_ids():
+            lineage, how = self._base_row(table.name, row_id)
+            rows.append(ExecRow(values, lineage, how))
+            self._scanned_rows += 1
+        return Relation(layout, rows)
+
+    def _cross_join(self, left: Relation, right: Relation) -> Relation:
+        layout = left.layout.concat(right.layout)
+        rows: list[ExecRow] = []
+        for left_row in left.rows:
+            for right_row in right.rows:
+                lineage, how = self._merge_join(left_row, right_row)
+                rows.append(
+                    ExecRow(left_row.values + right_row.values, lineage, how)
+                )
+        return Relation(layout, rows)
+
+    def _inner_join(
+        self, left: Relation, right: Relation, condition: ast.Expression | None
+    ) -> Relation:
+        assert condition is not None
+        layout = left.layout.concat(right.layout)
+        evaluator = self._evaluator()
+        equi = self._equi_join_key(condition, left.layout, right.layout)
+        rows: list[ExecRow] = []
+        if equi is not None:
+            left_index, right_index = equi
+            buckets: dict[SQLValue, list[ExecRow]] = {}
+            for right_row in right.rows:
+                key = right_row.values[right_index]
+                if key is None:
+                    continue
+                buckets.setdefault(key, []).append(right_row)
+            for left_row in left.rows:
+                key = left_row.values[left_index]
+                if key is None:
+                    continue
+                for right_row in buckets.get(key, []):
+                    lineage, how = self._merge_join(left_row, right_row)
+                    rows.append(
+                        ExecRow(left_row.values + right_row.values, lineage, how)
+                    )
+            return Relation(layout, rows)
+        for left_row in left.rows:
+            for right_row in right.rows:
+                values = left_row.values + right_row.values
+                context = RowContext(layout, values)
+                if evaluator.evaluate(condition, context) is True:
+                    lineage, how = self._merge_join(left_row, right_row)
+                    rows.append(ExecRow(values, lineage, how))
+        return Relation(layout, rows)
+
+    def _left_join(
+        self, left: Relation, right: Relation, condition: ast.Expression | None
+    ) -> Relation:
+        assert condition is not None
+        layout = left.layout.concat(right.layout)
+        evaluator = self._evaluator()
+        null_right = (None,) * len(right.layout)
+        rows: list[ExecRow] = []
+        for left_row in left.rows:
+            matched = False
+            for right_row in right.rows:
+                values = left_row.values + right_row.values
+                context = RowContext(layout, values)
+                if evaluator.evaluate(condition, context) is True:
+                    lineage, how = self._merge_join(left_row, right_row)
+                    rows.append(ExecRow(values, lineage, how))
+                    matched = True
+            if not matched:
+                rows.append(
+                    ExecRow(left_row.values + null_right, left_row.lineage, left_row.how)
+                )
+        return Relation(layout, rows)
+
+    def _equi_join_key(
+        self,
+        condition: ast.Expression,
+        left_layout: RowLayout,
+        right_layout: RowLayout,
+    ) -> tuple[int, int] | None:
+        """Detect ``left_col = right_col`` so a hash join can be used."""
+        if not isinstance(condition, ast.BinaryOp) or condition.operator != "=":
+            return None
+        if not isinstance(condition.left, ast.ColumnRef):
+            return None
+        if not isinstance(condition.right, ast.ColumnRef):
+            return None
+        sides = [condition.left, condition.right]
+        left_position = None
+        right_position = None
+        for ref in sides:
+            in_left = left_layout.has(ref.name, ref.table)
+            in_right = right_layout.has(ref.name, ref.table)
+            if in_left and not in_right and left_position is None:
+                left_position = left_layout.resolve(ref.name, ref.table)
+            elif in_right and not in_left and right_position is None:
+                right_position = right_layout.resolve(ref.name, ref.table)
+            else:
+                return None
+        if left_position is None or right_position is None:
+            return None
+        return left_position, right_position
+
+    # -- WHERE / HAVING ------------------------------------------------------------
+
+    def _filter(
+        self,
+        relation: Relation,
+        predicate: ast.Expression,
+        evaluator: ExpressionEvaluator | None = None,
+    ) -> Relation:
+        evaluator = evaluator or self._evaluator()
+        kept = []
+        for row in relation.rows:
+            context = RowContext(relation.layout, row.values)
+            if evaluator.evaluate(predicate, context) is True:
+                kept.append(row)
+        return Relation(relation.layout, kept)
+
+    # -- GROUP BY / aggregates -------------------------------------------------------
+
+    def _collect_aggregates(
+        self, statement: ast.SelectStatement
+    ) -> list[ast.AggregateCall]:
+        found: dict[str, ast.AggregateCall] = {}
+        expressions: list[ast.Expression] = [
+            item.expression for item in statement.items
+        ]
+        if statement.having is not None:
+            expressions.append(statement.having)
+        expressions.extend(item.expression for item in statement.order_by)
+        for expression in expressions:
+            for aggregate in ast.collect_aggregates(expression):
+                found.setdefault(aggregate.to_sql(), aggregate)
+        return list(found.values())
+
+    def _group(
+        self,
+        relation: Relation,
+        statement: ast.SelectStatement,
+        aggregates: list[ast.AggregateCall],
+    ) -> tuple[Relation, dict[str, int]]:
+        group_sqls = {expr.to_sql() for expr in statement.group_by}
+        for item in statement.items:
+            _validate_grouped(item.expression, group_sqls)
+        if statement.having is not None:
+            _validate_grouped(statement.having, group_sqls)
+        for order_item in statement.order_by:
+            _validate_grouped(
+                order_item.expression, group_sqls, allow_bare_column=True
+            )
+        evaluator = self._evaluator()
+        groups: dict[tuple, list[ExecRow]] = {}
+        order: list[tuple] = []
+        for row in relation.rows:
+            context = RowContext(relation.layout, row.values)
+            key = tuple(
+                _hashable(evaluator.evaluate(expr, context))
+                for expr in statement.group_by
+            )
+            if key not in groups:
+                groups[key] = []
+                order.append(key)
+            groups[key].append(row)
+        if not statement.group_by and not groups:
+            # Global aggregation over an empty input: one empty group.
+            groups[()] = []
+            order.append(())
+        aggregate_slots = {
+            aggregate.to_sql(): len(relation.layout) + position
+            for position, aggregate in enumerate(aggregates)
+        }
+        extended_layout = RowLayout(
+            relation.layout.columns
+            + [
+                BoundColumn(binding="#agg", name=f"agg_{position}")
+                for position in range(len(aggregates))
+            ]
+        )
+        grouped_rows: list[ExecRow] = []
+        for key in order:
+            members = groups[key]
+            accumulators = [
+                make_aggregator(
+                    aggregate.name,
+                    star=isinstance(aggregate.argument, ast.Star),
+                    distinct=aggregate.distinct,
+                )
+                for aggregate in aggregates
+            ]
+            for member in members:
+                context = RowContext(relation.layout, member.values)
+                for aggregate, accumulator in zip(aggregates, accumulators):
+                    if isinstance(aggregate.argument, ast.Star):
+                        accumulator.step(1)
+                    else:
+                        accumulator.step(
+                            evaluator.evaluate(aggregate.argument, context)
+                        )
+            aggregate_values = tuple(
+                accumulator.finalize() for accumulator in accumulators
+            )
+            if members:
+                representative = members[0].values
+                lineage, how = self._merge_union(members)
+            else:
+                representative = (None,) * len(relation.layout)
+                lineage = EMPTY_LINEAGE
+                how = Polynomial.zero() if self._capture_how else None
+            grouped_rows.append(
+                ExecRow(representative + aggregate_values, lineage, how)
+            )
+        return Relation(extended_layout, grouped_rows), aggregate_slots
+
+    # -- projection -------------------------------------------------------------------
+
+    def _expand_items(
+        self, statement: ast.SelectStatement, layout: RowLayout
+    ) -> list[ast.SelectItem]:
+        expanded: list[ast.SelectItem] = []
+        for item in statement.items:
+            expression = item.expression
+            if isinstance(expression, ast.Star):
+                if statement.group_by or self._collect_aggregates(statement):
+                    raise ExecutionError("'*' cannot be used with GROUP BY/aggregates")
+                for bound in layout.columns:
+                    if expression.table is not None and (
+                        bound.binding.lower() != expression.table.lower()
+                    ):
+                        continue
+                    expanded.append(
+                        ast.SelectItem(
+                            expression=ast.ColumnRef(
+                                name=bound.name, table=bound.binding
+                            ),
+                            alias=bound.name,
+                        )
+                    )
+                continue
+            expanded.append(item)
+        if not expanded:
+            raise ExecutionError("select list is empty after star expansion")
+        return expanded
+
+    def _project(
+        self,
+        relation: Relation,
+        statement: ast.SelectStatement,
+        aggregate_slots: dict[str, int],
+    ) -> tuple[list[str], list[tuple[ExecRow, ExecRow]]]:
+        items = self._expand_items(statement, relation.layout)
+        columns = [item.output_name(position) for position, item in enumerate(items)]
+        evaluator = self._evaluator(aggregate_slots)
+        projected: list[tuple[ExecRow, ExecRow]] = []
+        for row in relation.rows:
+            context = RowContext(relation.layout, row.values)
+            values = tuple(
+                evaluator.evaluate(item.expression, context) for item in items
+            )
+            projected.append((row, ExecRow(values, row.lineage, row.how)))
+        return columns, projected
+
+    # -- DISTINCT / ORDER / LIMIT ----------------------------------------------------
+
+    def _distinct(
+        self, projected: list[tuple[ExecRow, ExecRow]]
+    ) -> list[tuple[ExecRow, ExecRow]]:
+        buckets: dict[tuple, list[tuple[ExecRow, ExecRow]]] = {}
+        order: list[tuple] = []
+        for pre, out in projected:
+            key = tuple(_hashable(value) for value in out.values)
+            if key not in buckets:
+                buckets[key] = []
+                order.append(key)
+            buckets[key].append((pre, out))
+        result: list[tuple[ExecRow, ExecRow]] = []
+        for key in order:
+            group = buckets[key]
+            first_pre, first_out = group[0]
+            lineage, how = self._merge_union([out for _pre, out in group])
+            result.append((first_pre, ExecRow(first_out.values, lineage, how)))
+        return result
+
+    def _sort(
+        self,
+        projected: list[tuple[ExecRow, ExecRow]],
+        relation: Relation,
+        statement: ast.SelectStatement,
+        columns: list[str],
+        aggregate_slots: dict[str, int],
+    ) -> list[tuple[ExecRow, ExecRow]]:
+        evaluator = self._evaluator(aggregate_slots)
+        column_positions = {name.lower(): index for index, name in enumerate(columns)}
+
+        def sort_keys(pair: tuple[ExecRow, ExecRow]) -> list[SQLValue]:
+            pre, out = pair
+            keys: list[SQLValue] = []
+            for order_item in statement.order_by:
+                expression = order_item.expression
+                if (
+                    isinstance(expression, ast.ColumnRef)
+                    and expression.table is None
+                    and expression.name.lower() in column_positions
+                ):
+                    keys.append(out.values[column_positions[expression.name.lower()]])
+                else:
+                    context = RowContext(relation.layout, pre.values)
+                    keys.append(evaluator.evaluate(expression, context))
+            return keys
+
+        decorated = [(sort_keys(pair), pair) for pair in projected]
+        directions = [item.descending for item in statement.order_by]
+
+        def compare(a: tuple, b: tuple) -> int:
+            for key_a, key_b, descending in zip(a[0], b[0], directions):
+                verdict = _compare_sort_values(key_a, key_b)
+                if verdict == 0:
+                    continue
+                return -verdict if descending else verdict
+            return 0
+
+        decorated.sort(key=functools.cmp_to_key(compare))
+        return [pair for _keys, pair in decorated]
+
+    def _limit(
+        self,
+        projected: list[tuple[ExecRow, ExecRow]],
+        limit: int | None,
+        offset: int | None,
+    ) -> list[tuple[ExecRow, ExecRow]]:
+        start = offset or 0
+        if limit is None:
+            return projected[start:]
+        return projected[start : start + limit]
+
+
+def _compare_sort_values(a: SQLValue, b: SQLValue) -> int:
+    """Compare for ORDER BY: NULLs sort last in ascending order."""
+    if a is None and b is None:
+        return 0
+    if a is None:
+        return 1
+    if b is None:
+        return -1
+    if a == b:
+        return 0
+    try:
+        return -1 if a < b else 1
+    except TypeError as exc:
+        raise ExecutionError(
+            f"cannot order {type(a).__name__} against {type(b).__name__}"
+        ) from exc
+
+
+def _hashable(value: SQLValue) -> SQLValue:
+    """Group/distinct keys must be hashable; all SQLValues already are."""
+    return value
+
+
+def _validate_grouped(
+    expression: ast.Expression,
+    group_sqls: set[str],
+    allow_bare_column: bool = False,
+) -> None:
+    """Check ``expression`` is evaluable over a grouped row.
+
+    Every column reference must be covered by a GROUP BY expression or
+    occur inside an aggregate — the strict SQL rule, which matters here
+    because a silently-chosen representative value would be exactly the
+    kind of unsound answer the paper warns about.
+    """
+    if expression.to_sql() in group_sqls:
+        return
+    if isinstance(expression, (ast.Literal, ast.AggregateCall)):
+        return
+    if isinstance(expression, ast.ColumnRef):
+        if allow_bare_column:
+            return
+        raise ExecutionError(
+            f"column {expression.to_sql()} must appear in GROUP BY "
+            "or inside an aggregate"
+        )
+    if isinstance(expression, ast.Star):
+        raise ExecutionError("'*' cannot be used with GROUP BY/aggregates")
+    if isinstance(expression, ast.BinaryOp):
+        _validate_grouped(expression.left, group_sqls, allow_bare_column)
+        _validate_grouped(expression.right, group_sqls, allow_bare_column)
+        return
+    if isinstance(expression, ast.UnaryOp):
+        _validate_grouped(expression.operand, group_sqls, allow_bare_column)
+        return
+    if isinstance(expression, ast.IsNull):
+        _validate_grouped(expression.operand, group_sqls, allow_bare_column)
+        return
+    if isinstance(expression, ast.InList):
+        _validate_grouped(expression.operand, group_sqls, allow_bare_column)
+        for item in expression.items:
+            _validate_grouped(item, group_sqls, allow_bare_column)
+        return
+    if isinstance(expression, ast.Between):
+        _validate_grouped(expression.operand, group_sqls, allow_bare_column)
+        _validate_grouped(expression.low, group_sqls, allow_bare_column)
+        _validate_grouped(expression.high, group_sqls, allow_bare_column)
+        return
+    if isinstance(expression, ast.Like):
+        _validate_grouped(expression.operand, group_sqls, allow_bare_column)
+        _validate_grouped(expression.pattern, group_sqls, allow_bare_column)
+        return
+    if isinstance(expression, ast.FunctionCall):
+        for arg in expression.args:
+            _validate_grouped(arg, group_sqls, allow_bare_column)
+        return
+    if isinstance(expression, ast.CaseWhen):
+        for condition, value in expression.branches:
+            _validate_grouped(condition, group_sqls, allow_bare_column)
+            _validate_grouped(value, group_sqls, allow_bare_column)
+        if expression.default is not None:
+            _validate_grouped(expression.default, group_sqls, allow_bare_column)
+        return
+    if isinstance(expression, ast.ScalarSubquery):
+        return  # uncorrelated: a constant with respect to the grouping
+    if isinstance(expression, ast.InSubquery):
+        _validate_grouped(expression.operand, group_sqls, allow_bare_column)
+        return
+    raise ExecutionError(f"cannot validate grouped expression {expression!r}")

@@ -1,0 +1,216 @@
+"""SQL lexer.
+
+Turns SQL text into a flat list of :class:`Token` objects.  The tokenizer
+is intentionally strict: any character it does not recognise raises
+:class:`~repro.errors.TokenizeError` with a position, because silent
+recovery at the lexical level would undermine the soundness story of
+everything downstream (a hallucinated token is still a hallucination).
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass
+
+from repro.errors import TokenizeError
+
+#: Reserved words recognised by the parser.  Identifiers that collide with
+#: these must be quoted with double quotes.
+KEYWORDS = frozenset(
+    {
+        "SELECT",
+        "DISTINCT",
+        "FROM",
+        "WHERE",
+        "GROUP",
+        "BY",
+        "HAVING",
+        "ORDER",
+        "ASC",
+        "DESC",
+        "LIMIT",
+        "OFFSET",
+        "AS",
+        "JOIN",
+        "INNER",
+        "LEFT",
+        "OUTER",
+        "CROSS",
+        "ON",
+        "AND",
+        "OR",
+        "NOT",
+        "IN",
+        "IS",
+        "NULL",
+        "LIKE",
+        "BETWEEN",
+        "TRUE",
+        "FALSE",
+        "CASE",
+        "WHEN",
+        "THEN",
+        "ELSE",
+        "END",
+        "CREATE",
+        "TABLE",
+        "PRIMARY",
+        "KEY",
+        "INSERT",
+        "INTO",
+        "VALUES",
+        "UNION",
+        "ALL",
+    }
+)
+
+
+class TokenType(enum.Enum):
+    """Lexical categories produced by :func:`tokenize`."""
+
+    KEYWORD = "KEYWORD"
+    IDENTIFIER = "IDENTIFIER"
+    INTEGER = "INTEGER"
+    FLOAT = "FLOAT"
+    STRING = "STRING"
+    OPERATOR = "OPERATOR"
+    PUNCTUATION = "PUNCTUATION"
+    EOF = "EOF"
+
+
+@dataclass(frozen=True)
+class Token:
+    """One lexical token with its source position (for error messages)."""
+
+    type: TokenType
+    value: str
+    position: int
+
+    def matches_keyword(self, *keywords: str) -> bool:
+        """Whether this token is one of the given keywords."""
+        return self.type is TokenType.KEYWORD and self.value in keywords
+
+
+_OPERATORS = ("<>", "!=", "<=", ">=", "||", "=", "<", ">", "+", "-", "*", "/", "%")
+_PUNCTUATION = "(),.;"
+
+
+def tokenize(sql: str) -> list[Token]:
+    """Tokenize ``sql``, returning tokens terminated by a single EOF token."""
+    tokens: list[Token] = []
+    position = 0
+    length = len(sql)
+    while position < length:
+        char = sql[position]
+        if char.isspace():
+            position += 1
+            continue
+        if sql.startswith("--", position):
+            newline = sql.find("\n", position)
+            position = length if newline < 0 else newline + 1
+            continue
+        if char == "'":
+            token, position = _read_string(sql, position)
+            tokens.append(token)
+            continue
+        if char == '"':
+            token, position = _read_quoted_identifier(sql, position)
+            tokens.append(token)
+            continue
+        if char.isdigit() or (
+            char == "." and position + 1 < length and sql[position + 1].isdigit()
+        ):
+            token, position = _read_number(sql, position)
+            tokens.append(token)
+            continue
+        if char.isalpha() or char == "_":
+            token, position = _read_word(sql, position)
+            tokens.append(token)
+            continue
+        operator = _match_operator(sql, position)
+        if operator is not None:
+            tokens.append(Token(TokenType.OPERATOR, operator, position))
+            position += len(operator)
+            continue
+        if char in _PUNCTUATION:
+            tokens.append(Token(TokenType.PUNCTUATION, char, position))
+            position += 1
+            continue
+        raise TokenizeError(f"unexpected character {char!r}", position=position)
+    tokens.append(Token(TokenType.EOF, "", length))
+    return tokens
+
+
+def _read_string(sql: str, start: int) -> tuple[Token, int]:
+    """Read a single-quoted string literal; ``''`` escapes a quote."""
+    position = start + 1
+    pieces: list[str] = []
+    length = len(sql)
+    while position < length:
+        char = sql[position]
+        if char == "'":
+            if position + 1 < length and sql[position + 1] == "'":
+                pieces.append("'")
+                position += 2
+                continue
+            return Token(TokenType.STRING, "".join(pieces), start), position + 1
+        pieces.append(char)
+        position += 1
+    raise TokenizeError("unterminated string literal", position=start)
+
+
+def _read_quoted_identifier(sql: str, start: int) -> tuple[Token, int]:
+    """Read a double-quoted identifier (keywords may be used this way)."""
+    end = sql.find('"', start + 1)
+    if end < 0:
+        raise TokenizeError("unterminated quoted identifier", position=start)
+    name = sql[start + 1 : end]
+    if not name:
+        raise TokenizeError("empty quoted identifier", position=start)
+    return Token(TokenType.IDENTIFIER, name, start), end + 1
+
+
+def _read_number(sql: str, start: int) -> tuple[Token, int]:
+    """Read an integer or float literal (optional exponent)."""
+    position = start
+    length = len(sql)
+    saw_dot = False
+    saw_exponent = False
+    while position < length:
+        char = sql[position]
+        if char.isdigit():
+            position += 1
+        elif char == "." and not saw_dot and not saw_exponent:
+            saw_dot = True
+            position += 1
+        elif char in "eE" and not saw_exponent and position > start:
+            saw_exponent = True
+            position += 1
+            if position < length and sql[position] in "+-":
+                position += 1
+        else:
+            break
+    text = sql[start:position]
+    if saw_dot or saw_exponent:
+        return Token(TokenType.FLOAT, text, start), position
+    return Token(TokenType.INTEGER, text, start), position
+
+
+def _read_word(sql: str, start: int) -> tuple[Token, int]:
+    """Read an identifier or keyword."""
+    position = start
+    length = len(sql)
+    while position < length and (sql[position].isalnum() or sql[position] == "_"):
+        position += 1
+    text = sql[start:position]
+    upper = text.upper()
+    if upper in KEYWORDS:
+        return Token(TokenType.KEYWORD, upper, start), position
+    return Token(TokenType.IDENTIFIER, text, start), position
+
+
+def _match_operator(sql: str, position: int) -> str | None:
+    for operator in _OPERATORS:
+        if sql.startswith(operator, position):
+            return operator
+    return None

@@ -1,0 +1,204 @@
+"""Value model and schema definitions for the relational substrate.
+
+The engine supports a deliberately small set of column types — integers,
+floats, text, booleans, and dates (stored as ISO-8601 strings) — which is
+enough to host the synthetic analytics domains and the NL2SQL benchmark
+while keeping NULL semantics and coercion rules fully explicit.
+"""
+
+from __future__ import annotations
+
+import datetime
+import enum
+from dataclasses import dataclass, field
+
+from repro.errors import CatalogError, ExecutionError
+
+#: The Python-side representation of a SQL value.  ``None`` encodes NULL.
+SQLValue = int | float | str | bool | None
+
+
+class ColumnType(enum.Enum):
+    """Supported SQL column types."""
+
+    INTEGER = "INTEGER"
+    FLOAT = "FLOAT"
+    TEXT = "TEXT"
+    BOOLEAN = "BOOLEAN"
+    DATE = "DATE"
+
+    @classmethod
+    def from_name(cls, name: str) -> "ColumnType":
+        """Resolve a (case-insensitive) SQL type name, with common aliases."""
+        aliases = {
+            "INT": cls.INTEGER,
+            "INTEGER": cls.INTEGER,
+            "BIGINT": cls.INTEGER,
+            "SMALLINT": cls.INTEGER,
+            "FLOAT": cls.FLOAT,
+            "REAL": cls.FLOAT,
+            "DOUBLE": cls.FLOAT,
+            "NUMERIC": cls.FLOAT,
+            "DECIMAL": cls.FLOAT,
+            "TEXT": cls.TEXT,
+            "VARCHAR": cls.TEXT,
+            "CHAR": cls.TEXT,
+            "STRING": cls.TEXT,
+            "BOOLEAN": cls.BOOLEAN,
+            "BOOL": cls.BOOLEAN,
+            "DATE": cls.DATE,
+        }
+        key = name.strip().upper()
+        if key not in aliases:
+            raise CatalogError(f"unknown column type: {name!r}")
+        return aliases[key]
+
+    def python_types(self) -> tuple[type, ...]:
+        """Python types acceptable for this column (before coercion)."""
+        if self is ColumnType.INTEGER:
+            return (int,)
+        if self is ColumnType.FLOAT:
+            return (int, float)
+        if self is ColumnType.TEXT:
+            return (str,)
+        if self is ColumnType.BOOLEAN:
+            return (bool,)
+        return (str, datetime.date)
+
+
+def coerce_value(value: SQLValue, column_type: ColumnType) -> SQLValue:
+    """Coerce ``value`` to the storage representation of ``column_type``.
+
+    NULL (``None``) passes through unchanged.  Raises
+    :class:`~repro.errors.ExecutionError` when the value cannot be
+    represented in the column type without information loss.
+    """
+    if value is None:
+        return None
+    if column_type is ColumnType.INTEGER:
+        if isinstance(value, bool):
+            raise ExecutionError(f"cannot store boolean {value!r} in INTEGER column")
+        if isinstance(value, int):
+            return value
+        if isinstance(value, float) and value.is_integer():
+            return int(value)
+        raise ExecutionError(f"cannot store {value!r} in INTEGER column")
+    if column_type is ColumnType.FLOAT:
+        if isinstance(value, bool):
+            raise ExecutionError(f"cannot store boolean {value!r} in FLOAT column")
+        if isinstance(value, (int, float)):
+            return float(value)
+        raise ExecutionError(f"cannot store {value!r} in FLOAT column")
+    if column_type is ColumnType.TEXT:
+        if isinstance(value, str):
+            return value
+        raise ExecutionError(f"cannot store {value!r} in TEXT column")
+    if column_type is ColumnType.BOOLEAN:
+        if isinstance(value, bool):
+            return value
+        raise ExecutionError(f"cannot store {value!r} in BOOLEAN column")
+    # DATE: store as ISO-8601 text, validate the format.
+    if isinstance(value, datetime.date):
+        return value.isoformat()
+    if isinstance(value, str):
+        try:
+            datetime.date.fromisoformat(value)
+        except ValueError as exc:
+            raise ExecutionError(f"invalid DATE literal {value!r}") from exc
+        return value
+    raise ExecutionError(f"cannot store {value!r} in DATE column")
+
+
+@dataclass(frozen=True)
+class Column:
+    """A column definition: name, type, and nullability.
+
+    ``description`` is free-text metadata surfaced to the grounding layer
+    (P2): the schema knowledge graph indexes it so NL terms can be matched
+    against what a column *means*, not only what it is called.
+    """
+
+    name: str
+    type: ColumnType
+    nullable: bool = True
+    description: str = ""
+
+    def __post_init__(self) -> None:
+        if not self.name:
+            raise CatalogError("column name must be non-empty")
+
+
+@dataclass
+class Schema:
+    """An ordered collection of :class:`Column` objects with name lookup."""
+
+    columns: list[Column] = field(default_factory=list)
+
+    def __post_init__(self) -> None:
+        seen: set[str] = set()
+        for column in self.columns:
+            key = column.name.lower()
+            if key in seen:
+                raise CatalogError(f"duplicate column name: {column.name!r}")
+            seen.add(key)
+
+    def __len__(self) -> int:
+        return len(self.columns)
+
+    def __iter__(self):
+        return iter(self.columns)
+
+    @property
+    def names(self) -> list[str]:
+        """Column names in schema order."""
+        return [column.name for column in self.columns]
+
+    def index_of(self, name: str) -> int:
+        """Position of the column named ``name`` (case-insensitive)."""
+        key = name.lower()
+        for position, column in enumerate(self.columns):
+            if column.name.lower() == key:
+                return position
+        raise CatalogError(f"no such column: {name!r}")
+
+    def column(self, name: str) -> Column:
+        """The :class:`Column` named ``name`` (case-insensitive)."""
+        return self.columns[self.index_of(name)]
+
+    def has_column(self, name: str) -> bool:
+        """Whether a column named ``name`` exists (case-insensitive)."""
+        key = name.lower()
+        return any(column.name.lower() == key for column in self.columns)
+
+
+def infer_column_type(values: list[SQLValue]) -> ColumnType:
+    """Infer the narrowest :class:`ColumnType` that fits all ``values``.
+
+    Used by the CSV/dict ingestion path.  NULLs are ignored; an all-NULL
+    column defaults to TEXT.
+    """
+    non_null = [value for value in values if value is not None]
+    if not non_null:
+        return ColumnType.TEXT
+    if all(isinstance(value, bool) for value in non_null):
+        return ColumnType.BOOLEAN
+    if all(isinstance(value, int) and not isinstance(value, bool) for value in non_null):
+        return ColumnType.INTEGER
+    if all(
+        isinstance(value, (int, float)) and not isinstance(value, bool)
+        for value in non_null
+    ):
+        return ColumnType.FLOAT
+    if all(isinstance(value, str) for value in non_null):
+        if all(_looks_like_date(value) for value in non_null):
+            return ColumnType.DATE
+        return ColumnType.TEXT
+    return ColumnType.TEXT
+
+
+def _looks_like_date(text: str) -> bool:
+    try:
+        datetime.date.fromisoformat(text)
+    except ValueError:
+        return False
+    return True

@@ -1,0 +1,51 @@
+"""High-dimensional similarity-search substrate (property P1, Efficiency).
+
+The paper's efficiency challenge (Sections 2.2 and 3.2) is the trade-off
+between query time and answer quality: existing methods "are either fast
+and do not provide guarantees, or provide quality guarantees and are
+relatively slow".  This package implements both ends of that spectrum and
+the two bridges the paper proposes:
+
+* :class:`~repro.vector.brute.BruteForceIndex` — exact, slow, the quality
+  reference;
+* :class:`~repro.vector.ivf.IVFIndex`, :class:`~repro.vector.hnsw.
+  HNSWIndex`, :class:`~repro.vector.lsh.LSHIndex` — fast approximate
+  indexes with *no* guarantee;
+* :class:`~repro.vector.progressive.ProgressiveIndex` — progressive k-NN
+  with a *probabilistic quality guarantee* (stop when the estimated
+  probability that the current top-k is wrong drops below ``delta``),
+  after ProS [13];
+* :class:`~repro.vector.learned_stop.LearnedStopIVFIndex` — a
+  learning-augmented index whose early-termination model predicts how many
+  IVF probes a query needs (after Li et al. [34]).
+
+All indexes count distance computations, so benchmark E1 can report
+machine-independent work/recall curves.
+"""
+
+from repro.vector.base import SearchResult, VectorIndex
+from repro.vector.dataset import VectorDataset, generate_clustered_dataset
+from repro.vector.distance import Metric, pairwise_distances
+from repro.vector.embedding import HashingEmbedder
+from repro.vector.brute import BruteForceIndex
+from repro.vector.ivf import IVFIndex
+from repro.vector.hnsw import HNSWIndex
+from repro.vector.lsh import LSHIndex
+from repro.vector.progressive import ProgressiveIndex
+from repro.vector.learned_stop import LearnedStopIVFIndex
+
+__all__ = [
+    "SearchResult",
+    "VectorIndex",
+    "VectorDataset",
+    "generate_clustered_dataset",
+    "Metric",
+    "pairwise_distances",
+    "HashingEmbedder",
+    "BruteForceIndex",
+    "IVFIndex",
+    "HNSWIndex",
+    "LSHIndex",
+    "ProgressiveIndex",
+    "LearnedStopIVFIndex",
+]

@@ -1,0 +1,124 @@
+"""Common index interface and search-result container.
+
+Every index implements ``build(dataset)`` then ``search(query, k)``.
+Results carry the *work counters* (distance computations, candidates
+visited) that make quality/efficiency trade-offs measurable independently
+of the host machine — the paper's efficiency property is about bounded
+resource consumption, so the resource usage must be observable.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro.errors import DimensionMismatchError, IndexNotBuiltError
+from repro.vector.dataset import VectorDataset
+from repro.vector.distance import Metric
+
+
+@dataclass
+class SearchResult:
+    """Top-k answer with work counters and (optionally) a guarantee.
+
+    ``guarantee_delta`` is set only by guarantee-providing indexes: the
+    claimed upper bound on the probability that the returned set is not
+    the true top-k.  ``empty_by_threshold`` flags the "return an empty set
+    when no answer has the expected relevance" behaviour of Section 3.2.
+    """
+
+    ids: list
+    distances: list[float]
+    distance_computations: int
+    candidates_visited: int = 0
+    guarantee_delta: float | None = None
+    empty_by_threshold: bool = False
+    metadata: dict = field(default_factory=dict)
+
+    def __len__(self) -> int:
+        return len(self.ids)
+
+
+class VectorIndex:
+    """Abstract base: shared build/search plumbing and validation."""
+
+    #: Human-readable name used in benchmark output.
+    name = "abstract"
+
+    def __init__(self, metric: Metric = Metric.L2):
+        self.metric = metric
+        self._dataset: VectorDataset | None = None
+
+    @property
+    def is_built(self) -> bool:
+        """Whether :meth:`build` has completed."""
+        return self._dataset is not None
+
+    @property
+    def dataset(self) -> VectorDataset:
+        """The indexed dataset (raises if not built)."""
+        if self._dataset is None:
+            raise IndexNotBuiltError(f"{self.name} index was not built")
+        return self._dataset
+
+    def build(self, dataset: VectorDataset) -> None:
+        """Index ``dataset``; subclasses extend via :meth:`_build`."""
+        self._dataset = dataset
+        self._build(dataset)
+
+    def _build(self, dataset: VectorDataset) -> None:
+        """Subclass hook: construct index structures."""
+
+    def search(self, query: np.ndarray, k: int) -> SearchResult:
+        """Return (approximately) the ``k`` nearest neighbours of ``query``."""
+        dataset = self.dataset
+        query = np.asarray(query, dtype=np.float64)
+        if query.ndim != 1 or query.shape[0] != dataset.dim:
+            raise DimensionMismatchError(
+                f"query shape {query.shape} does not match dataset dim {dataset.dim}"
+            )
+        if k <= 0:
+            raise ValueError("k must be positive")
+        k = min(k, len(dataset))
+        return self._search(query, k)
+
+    def _search(self, query: np.ndarray, k: int) -> SearchResult:
+        raise NotImplementedError
+
+    # -- shared helpers --------------------------------------------------------
+
+    def _result_from_positions(
+        self,
+        positions: np.ndarray,
+        distances: np.ndarray,
+        k: int,
+        distance_computations: int,
+        candidates_visited: int | None = None,
+        **metadata,
+    ) -> SearchResult:
+        """Rank candidate positions by distance and package the top-k."""
+        order = np.argsort(distances, kind="stable")[:k]
+        top_positions = positions[order]
+        top_distances = distances[order]
+        ids = [self.dataset.ids[int(position)] for position in top_positions]
+        return SearchResult(
+            ids=ids,
+            distances=[float(distance) for distance in top_distances],
+            distance_computations=distance_computations,
+            candidates_visited=(
+                candidates_visited
+                if candidates_visited is not None
+                else len(positions)
+            ),
+            metadata=metadata,
+        )
+
+
+def recall_at_k(approximate_ids: list, exact_ids: list) -> float:
+    """Fraction of the exact top-k found by the approximate search."""
+    if not exact_ids:
+        return 1.0
+    exact = set(exact_ids)
+    hits = sum(1 for candidate in approximate_ids if candidate in exact)
+    return hits / len(exact)

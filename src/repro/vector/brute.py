@@ -1,0 +1,47 @@
+"""Exact brute-force search: the quality reference for every other index.
+
+Also supports a relevance threshold: when ``max_distance`` is set and even
+the best match is farther than it, the index returns an *empty* result —
+the paper's requirement that a retrieval component "be able to return an
+empty set, when no answer exists with a given expected relevance"
+(Section 3.2).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.vector.base import SearchResult, VectorIndex
+from repro.vector.distance import Metric, pairwise_distances
+
+
+class BruteForceIndex(VectorIndex):
+    """Exact linear-scan k-NN."""
+
+    name = "brute"
+
+    def __init__(self, metric: Metric = Metric.L2, max_distance: float | None = None):
+        super().__init__(metric)
+        self.max_distance = max_distance
+
+    def _search(self, query: np.ndarray, k: int) -> SearchResult:
+        data = self.dataset.vectors
+        distances = pairwise_distances(query, data, self.metric)
+        result = self._result_from_positions(
+            positions=np.arange(len(data)),
+            distances=distances,
+            k=k,
+            distance_computations=len(data),
+        )
+        result.guarantee_delta = 0.0  # exact: zero probability of error
+        if self.max_distance is not None:
+            kept = [
+                (identifier, distance)
+                for identifier, distance in zip(result.ids, result.distances)
+                if distance <= self.max_distance
+            ]
+            if len(kept) < len(result.ids):
+                result.ids = [identifier for identifier, _distance in kept]
+                result.distances = [distance for _identifier, distance in kept]
+                result.empty_by_threshold = not kept
+        return result

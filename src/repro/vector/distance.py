@@ -1,0 +1,75 @@
+"""Distance kernels for similarity search.
+
+Everything is vectorised numpy; the kernels return *distances* (smaller is
+closer) even for inner-product similarity, so every index can rank with a
+single convention.
+"""
+
+from __future__ import annotations
+
+import enum
+
+import numpy as np
+
+from repro.errors import DimensionMismatchError
+
+
+class Metric(enum.Enum):
+    """Supported dissimilarity measures."""
+
+    L2 = "l2"
+    COSINE = "cosine"
+    INNER_PRODUCT = "inner_product"
+
+
+def _check_dims(query: np.ndarray, data: np.ndarray) -> None:
+    if query.ndim != 1:
+        raise DimensionMismatchError(
+            f"query must be a 1-d vector, got shape {query.shape}"
+        )
+    if data.ndim != 2:
+        raise DimensionMismatchError(
+            f"data must be a 2-d matrix, got shape {data.shape}"
+        )
+    if query.shape[0] != data.shape[1]:
+        raise DimensionMismatchError(
+            f"query dim {query.shape[0]} != data dim {data.shape[1]}"
+        )
+
+
+def pairwise_distances(
+    query: np.ndarray, data: np.ndarray, metric: Metric = Metric.L2
+) -> np.ndarray:
+    """Distances from ``query`` (1-d) to every row of ``data`` (2-d)."""
+    _check_dims(query, data)
+    if metric is Metric.L2:
+        deltas = data - query[None, :]
+        return np.sqrt(np.einsum("ij,ij->i", deltas, deltas))
+    if metric is Metric.COSINE:
+        return cosine_distances(query, data)
+    if metric is Metric.INNER_PRODUCT:
+        # Negated dot product: larger similarity -> smaller distance.
+        return -(data @ query)
+    raise ValueError(f"unknown metric {metric}")
+
+
+def cosine_distances(query: np.ndarray, data: np.ndarray) -> np.ndarray:
+    """Cosine distance (1 - cosine similarity); zero vectors get distance 1."""
+    _check_dims(query, data)
+    query_norm = float(np.linalg.norm(query))
+    data_norms = np.linalg.norm(data, axis=1)
+    dots = data @ query
+    denominator = data_norms * query_norm
+    similarities = np.zeros(len(data), dtype=np.float64)
+    nonzero = denominator > 0
+    similarities[nonzero] = dots[nonzero] / denominator[nonzero]
+    return 1.0 - similarities
+
+
+def single_distance(
+    a: np.ndarray, b: np.ndarray, metric: Metric = Metric.L2
+) -> float:
+    """Distance between two 1-d vectors."""
+    if a.shape != b.shape:
+        raise DimensionMismatchError(f"shape {a.shape} != shape {b.shape}")
+    return float(pairwise_distances(a, b[None, :], metric)[0])

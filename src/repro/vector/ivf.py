@@ -1,0 +1,97 @@
+"""Inverted-file (IVF) index: k-means coarse quantizer + posting lists.
+
+The canonical fast-but-unguaranteed approximate index.  ``nprobe``
+controls the recall/latency knob benchmark E1 sweeps; the learned-stop
+index (:mod:`repro.vector.learned_stop`) extends this class with a
+per-query probe predictor.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.errors import VectorError
+from repro.vector.base import SearchResult, VectorIndex
+from repro.vector.dataset import VectorDataset
+from repro.vector.distance import Metric, pairwise_distances
+from repro.vector.kmeans import kmeans
+
+
+class IVFIndex(VectorIndex):
+    """IVF with a k-means coarse quantizer."""
+
+    name = "ivf"
+
+    def __init__(
+        self,
+        n_lists: int = 32,
+        n_probe: int = 4,
+        metric: Metric = Metric.L2,
+        seed: int = 0,
+    ):
+        super().__init__(metric)
+        if n_lists <= 0:
+            raise VectorError("n_lists must be positive")
+        if n_probe <= 0:
+            raise VectorError("n_probe must be positive")
+        self.n_lists = n_lists
+        self.n_probe = n_probe
+        self._seed = seed
+        self._centroids: np.ndarray | None = None
+        self._lists: list[np.ndarray] = []
+
+    def _build(self, dataset: VectorDataset) -> None:
+        rng = np.random.default_rng(self._seed)
+        n_lists = min(self.n_lists, len(dataset))
+        result = kmeans(dataset.vectors, n_lists, rng)
+        self._centroids = result.centroids
+        self._lists = [
+            np.flatnonzero(result.assignments == cluster) for cluster in range(n_lists)
+        ]
+
+    def probe_order(self, query: np.ndarray) -> tuple[np.ndarray, int]:
+        """Posting lists sorted by centroid distance, plus the work done."""
+        assert self._centroids is not None
+        centroid_distances = pairwise_distances(query, self._centroids, self.metric)
+        return np.argsort(centroid_distances, kind="stable"), len(self._centroids)
+
+    def search_with_probes(
+        self, query: np.ndarray, k: int, n_probe: int
+    ) -> SearchResult:
+        """Search probing exactly ``n_probe`` posting lists."""
+        order, centroid_work = self.probe_order(query)
+        return self._scan_lists(query, k, order[:n_probe], centroid_work)
+
+    def _scan_lists(
+        self,
+        query: np.ndarray,
+        k: int,
+        list_ids: np.ndarray,
+        base_work: int,
+    ) -> SearchResult:
+        candidate_arrays = [self._lists[int(list_id)] for list_id in list_ids]
+        candidate_arrays = [arr for arr in candidate_arrays if len(arr)]
+        if not candidate_arrays:
+            return SearchResult(
+                ids=[],
+                distances=[],
+                distance_computations=base_work,
+                candidates_visited=0,
+                metadata={"probes": len(list_ids)},
+            )
+        positions = np.concatenate(candidate_arrays)
+        distances = pairwise_distances(
+            query, self.dataset.vectors[positions], self.metric
+        )
+        result = self._result_from_positions(
+            positions=positions,
+            distances=distances,
+            k=k,
+            distance_computations=base_work + len(positions),
+            probes=len(list_ids),
+        )
+        return result
+
+    def _search(self, query: np.ndarray, k: int) -> SearchResult:
+        n_probe = min(self.n_probe, len(self._lists))
+        return self.search_with_probes(query, k, n_probe)

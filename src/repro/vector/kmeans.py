@@ -1,0 +1,98 @@
+"""Lightweight k-means (Lloyd's algorithm with k-means++ seeding).
+
+Substrate for the IVF coarse quantizer.  Deliberately minimal: fixed
+iteration budget, explicit RNG, no empty-cluster resurrection beyond
+re-seeding from the farthest point.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.errors import VectorError
+
+
+@dataclass
+class KMeansResult:
+    """Fitted centroids plus the final assignment of each point."""
+
+    centroids: np.ndarray
+    assignments: np.ndarray
+    iterations: int
+    inertia: float
+
+
+def kmeans_plus_plus_init(
+    data: np.ndarray, k: int, rng: np.random.Generator
+) -> np.ndarray:
+    """k-means++ seeding: spread initial centroids proportionally to D^2."""
+    n = len(data)
+    first = int(rng.integers(0, n))
+    centroids = [data[first]]
+    closest_sq = np.sum((data - centroids[0]) ** 2, axis=1)
+    for _ in range(1, k):
+        total = float(closest_sq.sum())
+        if total <= 0.0:
+            # All remaining points coincide with a centroid; pick uniformly.
+            pick = int(rng.integers(0, n))
+        else:
+            probabilities = closest_sq / total
+            pick = int(rng.choice(n, p=probabilities))
+        centroids.append(data[pick])
+        new_sq = np.sum((data - data[pick]) ** 2, axis=1)
+        closest_sq = np.minimum(closest_sq, new_sq)
+    return np.stack(centroids)
+
+
+def kmeans(
+    data: np.ndarray,
+    k: int,
+    rng: np.random.Generator,
+    max_iterations: int = 25,
+    tolerance: float = 1e-6,
+) -> KMeansResult:
+    """Cluster ``data`` into ``k`` groups; returns centroids + assignments."""
+    if data.ndim != 2:
+        raise VectorError(f"kmeans expects a 2-d matrix, got shape {data.shape}")
+    n = len(data)
+    if k <= 0:
+        raise VectorError("k must be positive")
+    if k > n:
+        raise VectorError(f"k={k} exceeds the number of points n={n}")
+    centroids = kmeans_plus_plus_init(data, k, rng)
+    assignments = np.zeros(n, dtype=np.int64)
+    inertia = float("inf")
+    iterations = 0
+    for iterations in range(1, max_iterations + 1):
+        # Assignment step (squared L2 via the expansion trick).
+        cross = data @ centroids.T
+        data_sq = np.einsum("ij,ij->i", data, data)[:, None]
+        cent_sq = np.einsum("ij,ij->i", centroids, centroids)[None, :]
+        squared = data_sq - 2.0 * cross + cent_sq
+        assignments = np.argmin(squared, axis=1)
+        new_inertia = float(squared[np.arange(n), assignments].sum())
+        # Update step.
+        new_centroids = centroids.copy()
+        for cluster in range(k):
+            members = data[assignments == cluster]
+            if len(members) == 0:
+                # Re-seed an empty cluster from the point farthest from its
+                # centroid, the standard cheap fix.
+                worst = int(np.argmax(squared[np.arange(n), assignments]))
+                new_centroids[cluster] = data[worst]
+            else:
+                new_centroids[cluster] = members.mean(axis=0)
+        shift = float(np.linalg.norm(new_centroids - centroids))
+        centroids = new_centroids
+        if abs(inertia - new_inertia) <= tolerance or shift <= tolerance:
+            inertia = new_inertia
+            break
+        inertia = new_inertia
+    return KMeansResult(
+        centroids=centroids,
+        assignments=assignments,
+        iterations=iterations,
+        inertia=inertia,
+    )

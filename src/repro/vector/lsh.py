@@ -1,0 +1,100 @@
+"""Random-hyperplane LSH index.
+
+Sign-random-projection LSH: each table hashes a vector to the sign
+pattern of ``n_bits`` random hyperplanes.  Candidates are the union of the
+query's buckets across tables, optionally widened by multi-probe (flip
+one bit at a time) when the buckets are too sparse.  Fast, tunable, and —
+like IVF/HNSW — guarantee-free in the per-query sense benchmark E1 cares
+about.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.errors import VectorError
+from repro.vector.base import SearchResult, VectorIndex
+from repro.vector.dataset import VectorDataset
+from repro.vector.distance import Metric, pairwise_distances
+
+
+class LSHIndex(VectorIndex):
+    """Multi-table sign-random-projection LSH."""
+
+    name = "lsh"
+
+    def __init__(
+        self,
+        n_tables: int = 8,
+        n_bits: int = 12,
+        metric: Metric = Metric.L2,
+        seed: int = 0,
+        multiprobe_bits: int = 1,
+    ):
+        super().__init__(metric)
+        if n_tables <= 0 or n_bits <= 0:
+            raise VectorError("n_tables and n_bits must be positive")
+        if multiprobe_bits < 0:
+            raise VectorError("multiprobe_bits must be >= 0")
+        self.n_tables = n_tables
+        self.n_bits = n_bits
+        self.multiprobe_bits = multiprobe_bits
+        self._seed = seed
+        self._hyperplanes: list[np.ndarray] = []
+        self._tables: list[dict[int, list[int]]] = []
+
+    def _build(self, dataset: VectorDataset) -> None:
+        rng = np.random.default_rng(self._seed)
+        self._hyperplanes = []
+        self._tables = []
+        centre = dataset.vectors.mean(axis=0)
+        shifted = dataset.vectors - centre
+        self._centre = centre
+        for _ in range(self.n_tables):
+            planes = rng.normal(size=(self.n_bits, dataset.dim))
+            self._hyperplanes.append(planes)
+            signatures = self._signatures(shifted, planes)
+            table: dict[int, list[int]] = {}
+            for position, signature in enumerate(signatures):
+                table.setdefault(int(signature), []).append(position)
+            self._tables.append(table)
+
+    @staticmethod
+    def _signatures(data: np.ndarray, planes: np.ndarray) -> np.ndarray:
+        bits = (data @ planes.T) >= 0.0
+        weights = 1 << np.arange(bits.shape[1])
+        return bits @ weights
+
+    def _query_buckets(self, query: np.ndarray) -> list[tuple[int, int]]:
+        """(table_index, signature) pairs to probe, including multiprobes."""
+        shifted = query - self._centre
+        probes: list[tuple[int, int]] = []
+        for table_index, planes in enumerate(self._hyperplanes):
+            signature = int(self._signatures(shifted[None, :], planes)[0])
+            probes.append((table_index, signature))
+            for bit in range(min(self.multiprobe_bits, self.n_bits)):
+                probes.append((table_index, signature ^ (1 << bit)))
+        return probes
+
+    def _search(self, query: np.ndarray, k: int) -> SearchResult:
+        candidate_set: set[int] = set()
+        for table_index, signature in self._query_buckets(query):
+            candidate_set.update(self._tables[table_index].get(signature, []))
+        if not candidate_set:
+            return SearchResult(
+                ids=[],
+                distances=[],
+                distance_computations=0,
+                candidates_visited=0,
+                metadata={"buckets_empty": True},
+            )
+        positions = np.fromiter(candidate_set, dtype=np.int64)
+        distances = pairwise_distances(
+            query, self.dataset.vectors[positions], self.metric
+        )
+        return self._result_from_positions(
+            positions=positions,
+            distances=distances,
+            k=k,
+            distance_computations=len(positions),
+        )

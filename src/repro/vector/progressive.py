@@ -1,0 +1,163 @@
+"""Progressive k-NN search with probabilistic quality guarantees.
+
+After ProS [13]: scan the dataset in a random order, maintain the running
+top-k, and stop as soon as the probability that the running top-k is not
+the true top-k drops below a user-supplied ``delta``.  Two stop rules are
+provided:
+
+* ``"hypergeometric"`` — *exact*: under a uniformly random scan order the
+  scanned prefix of size m is a uniform m-subset, so the probability that
+  the true top-k is fully contained in it is
+  ``C(n-k, m-k) / C(n, m)``; stop when ``1 - that <= delta``.  Provably
+  correct with no distributional assumptions, and accordingly
+  conservative — this is the "provide quality guarantees and are
+  relatively slow" end of the paper's spectrum made concrete.
+
+* ``"rule_of_three"`` — *estimated*: track the number s of consecutive
+  scanned points that failed to improve the running top-k; with
+  confidence 1-delta the per-point improvement probability is at most
+  ``ln(1/delta)/s``, so the chance any of the r remaining points improves
+  is at most ``1 - (1 - ln(1/delta)/s)^r``.  Stops much earlier on easy
+  queries; the guarantee is approximate because the threshold distance
+  drifts while s accumulates (documented, and measured in E1).
+
+Both rules also support an early *empty-result* exit: with
+``max_distance`` set, if the guarantee is reached and even the best match
+is farther than the threshold, the index returns an empty answer — the
+Section 3.2 requirement of returning nothing rather than irrelevant
+matches.
+"""
+
+from __future__ import annotations
+
+import math
+
+import numpy as np
+
+from repro.errors import VectorError
+from repro.vector.base import SearchResult, VectorIndex
+from repro.vector.dataset import VectorDataset
+from repro.vector.distance import Metric, pairwise_distances
+
+STOP_RULES = ("hypergeometric", "rule_of_three")
+
+
+def prefix_containment_probability(n: int, m: int, k: int) -> float:
+    """P(a fixed k-subset is inside a uniform m-subset of n) = C(n-k,m-k)/C(n,m).
+
+    Computed in log space to stay stable for large n.
+    """
+    if m >= n:
+        return 1.0
+    if m < k:
+        return 0.0
+    log_p = 0.0
+    # C(n-k, m-k)/C(n, m) = prod_{i=0}^{k-1} (m-i)/(n-i)
+    for i in range(k):
+        log_p += math.log(m - i) - math.log(n - i)
+    return math.exp(log_p)
+
+
+class ProgressiveIndex(VectorIndex):
+    """Progressive scan with a probabilistic stopping guarantee."""
+
+    name = "progressive"
+
+    def __init__(
+        self,
+        delta: float = 0.05,
+        stop_rule: str = "rule_of_three",
+        batch_size: int = 256,
+        metric: Metric = Metric.L2,
+        seed: int = 0,
+        max_distance: float | None = None,
+    ):
+        super().__init__(metric)
+        if not (0.0 < delta < 1.0):
+            raise VectorError("delta must be in (0, 1)")
+        if stop_rule not in STOP_RULES:
+            raise VectorError(f"stop_rule must be one of {STOP_RULES}")
+        if batch_size <= 0:
+            raise VectorError("batch_size must be positive")
+        self.delta = delta
+        self.stop_rule = stop_rule
+        self.batch_size = batch_size
+        self.max_distance = max_distance
+        self._seed = seed
+        self._order: np.ndarray | None = None
+
+    def _build(self, dataset: VectorDataset) -> None:
+        rng = np.random.default_rng(self._seed)
+        self._order = rng.permutation(len(dataset))
+
+    def _search(self, query: np.ndarray, k: int) -> SearchResult:
+        assert self._order is not None
+        data = self.dataset.vectors
+        n = len(data)
+        scanned = 0
+        since_improvement = 0
+        top_positions: np.ndarray = np.empty(0, dtype=np.int64)
+        top_distances: np.ndarray = np.empty(0, dtype=np.float64)
+        stopped_early = False
+        while scanned < n:
+            batch_positions = self._order[scanned : scanned + self.batch_size]
+            batch_distances = pairwise_distances(
+                query, data[batch_positions], self.metric
+            )
+            previous_worst = (
+                float(top_distances[-1]) if len(top_distances) == k else math.inf
+            )
+            merged_positions = np.concatenate([top_positions, batch_positions])
+            merged_distances = np.concatenate([top_distances, batch_distances])
+            order = np.argsort(merged_distances, kind="stable")[:k]
+            top_positions = merged_positions[order]
+            top_distances = merged_distances[order]
+            scanned += len(batch_positions)
+            new_worst = (
+                float(top_distances[-1]) if len(top_distances) == k else math.inf
+            )
+            if new_worst < previous_worst:
+                since_improvement = 0
+            else:
+                since_improvement += len(batch_positions)
+            if len(top_distances) == k and self._should_stop(
+                n, scanned, k, since_improvement
+            ):
+                stopped_early = scanned < n
+                break
+        result = SearchResult(
+            ids=[self.dataset.ids[int(position)] for position in top_positions],
+            distances=[float(distance) for distance in top_distances],
+            distance_computations=scanned,
+            candidates_visited=scanned,
+            guarantee_delta=0.0 if scanned >= n else self.delta,
+            metadata={
+                "stopped_early": stopped_early,
+                "scanned_fraction": scanned / n if n else 1.0,
+                "stop_rule": self.stop_rule,
+            },
+        )
+        if self.max_distance is not None and result.distances:
+            if result.distances[0] > self.max_distance:
+                result.ids = []
+                result.distances = []
+                result.empty_by_threshold = True
+        return result
+
+    def _should_stop(
+        self, n: int, scanned: int, k: int, since_improvement: int
+    ) -> bool:
+        if scanned >= n:
+            return True
+        if self.stop_rule == "hypergeometric":
+            error_probability = 1.0 - prefix_containment_probability(n, scanned, k)
+            return error_probability <= self.delta
+        # rule_of_three
+        if since_improvement <= 0:
+            return False
+        remaining = n - scanned
+        per_point_bound = math.log(1.0 / self.delta) / since_improvement
+        if per_point_bound >= 1.0:
+            return False
+        any_improvement_bound = 1.0 - (1.0 - per_point_bound) ** remaining
+        return any_improvement_bound <= self.delta

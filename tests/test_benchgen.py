@@ -1,0 +1,175 @@
+"""Tests for benchmark generation and metrics."""
+
+import numpy as np
+import pytest
+
+from repro.benchgen import (
+    QuestionGenerator,
+    WorkloadSpec,
+    build_workload,
+    exact_match,
+    execution_accuracy,
+    generate_random_database,
+    mean_reciprocal_rank,
+    ndcg_at_k,
+    recall_at_k,
+)
+from repro.benchgen.question_gen import QuestionCase
+from repro.benchgen.metrics import mean_ndcg_at_k
+
+
+class TestSchemaGen:
+    def test_two_tables_with_fk(self):
+        rng = np.random.default_rng(0)
+        spec = generate_random_database(rng, n_rows=30)
+        assert len(spec.database.catalog) == 2
+        assert spec.database.catalog.foreign_keys
+
+    def test_row_count(self):
+        rng = np.random.default_rng(0)
+        spec = generate_random_database(rng, n_rows=45)
+        assert len(spec.database.catalog.table(spec.entity_table)) == 45
+
+    def test_archetypes_differ(self):
+        rng = np.random.default_rng(0)
+        a = generate_random_database(rng, archetype_index=0)
+        b = generate_random_database(rng, archetype_index=1)
+        assert a.entity_table != b.entity_table
+
+    def test_determinism(self):
+        a = generate_random_database(np.random.default_rng(5), archetype_index=0)
+        b = generate_random_database(np.random.default_rng(5), archetype_index=0)
+        assert a.database.catalog.table(a.entity_table).rows() == (
+            b.database.catalog.table(b.entity_table).rows()
+        )
+
+
+class TestQuestionGen:
+    @pytest.fixture
+    def generator(self):
+        rng = np.random.default_rng(1)
+        spec = generate_random_database(rng, n_rows=60, archetype_index=0)
+        return QuestionGenerator(spec, rng)
+
+    @pytest.mark.parametrize("template", QuestionGenerator.TEMPLATES)
+    def test_every_template_produces_consistent_case(self, template, generator):
+        case = generator.generate(template)
+        assert isinstance(case, QuestionCase)
+        # Gold rows must be reproducible from gold SQL.
+        replay = generator.spec.database.execute(case.gold_sql)
+        assert list(replay.rows) == case.gold_rows
+
+    def test_generate_many_round_robin(self, generator):
+        cases = generator.generate_many(9)
+        assert len(cases) == 9
+        assert len({case.template for case in cases}) == 9
+
+    def test_questions_are_english(self, generator):
+        case = generator.generate("count_all")
+        assert case.question.startswith("how many")
+
+    def test_gold_answers_non_trivial(self, generator):
+        # Filters derived from data quantiles: results should not be empty.
+        for template in ("agg_numeric_filter", "list_filter", "join_filter"):
+            case = generator.generate(template)
+            assert case.gold_rows
+
+
+class TestWorkload:
+    def test_build_respects_spec(self):
+        workload = build_workload(
+            WorkloadSpec(n_questions_per_domain=6, n_domains=2, seed=3)
+        )
+        assert len(workload) == 12
+        domains = {item.case.domain for item in workload.items}
+        assert len(domains) == 2
+
+    def test_paraphrase_strength_zero_keeps_questions(self):
+        workload = build_workload(
+            WorkloadSpec(n_questions_per_domain=4, n_domains=1, seed=3)
+        )
+        assert all(
+            item.surface_question == item.case.question for item in workload.items
+        )
+
+    def test_paraphrase_strength_one_changes_some(self):
+        workload = build_workload(
+            WorkloadSpec(
+                n_questions_per_domain=8, n_domains=1,
+                paraphrase_strength=1.0, seed=3,
+            )
+        )
+        changed = sum(
+            1
+            for item in workload.items
+            if item.surface_question != item.case.question
+        )
+        assert changed >= 4
+
+    def test_by_template_grouping(self):
+        workload = build_workload(
+            WorkloadSpec(n_questions_per_domain=9, n_domains=1, seed=3)
+        )
+        groups = workload.by_template()
+        assert sum(len(items) for items in groups.values()) == 9
+
+    def test_determinism(self):
+        spec = WorkloadSpec(n_questions_per_domain=5, n_domains=2,
+                            paraphrase_strength=0.5, seed=9)
+        a = build_workload(spec)
+        b = build_workload(spec)
+        assert [i.surface_question for i in a.items] == [
+            i.surface_question for i in b.items
+        ]
+
+
+class TestMetrics:
+    def test_execution_accuracy_unordered(self):
+        assert execution_accuracy([(1,), (2,)], [(2,), (1,)])
+        assert not execution_accuracy([(1,)], [(2,)])
+
+    def test_execution_accuracy_ordered(self):
+        assert not execution_accuracy([(1,), (2,)], [(2,), (1,)], ordered=True)
+        assert execution_accuracy([(1,), (2,)], [(1,), (2,)], ordered=True)
+
+    def test_execution_accuracy_none_prediction(self):
+        assert not execution_accuracy(None, [(1,)])
+
+    def test_exact_match_normalises(self):
+        assert exact_match("select a from t", "SELECT a FROM t")
+        assert not exact_match("SELECT a FROM t", "SELECT b FROM t")
+        assert not exact_match("not sql", "SELECT a FROM t")
+
+    def test_mrr(self):
+        rankings = [["a", "b"], ["b", "a"], ["c"]]
+        relevant = [{"a"}, {"a"}, {"a"}]
+        assert mean_reciprocal_rank(rankings, relevant) == pytest.approx(
+            (1.0 + 0.5 + 0.0) / 3
+        )
+
+    def test_ndcg_perfect(self):
+        assert ndcg_at_k(["a", "b"], {"a": 2, "b": 1}, 2) == pytest.approx(1.0)
+
+    def test_ndcg_inverted_lower(self):
+        good = ndcg_at_k(["a", "b"], {"a": 2, "b": 1}, 2)
+        bad = ndcg_at_k(["b", "a"], {"a": 2, "b": 1}, 2)
+        assert bad < good
+
+    def test_ndcg_no_relevance(self):
+        assert ndcg_at_k(["x"], {}, 3) == 0.0
+
+    def test_mean_ndcg(self):
+        value = mean_ndcg_at_k(
+            [["a"], ["b"]], [{"a": 1}, {"a": 1}], k=1
+        )
+        assert value == pytest.approx(0.5)
+
+    def test_recall_at_k(self):
+        assert recall_at_k(["a", "b", "c"], {"a", "c"}, 2) == pytest.approx(0.5)
+        assert recall_at_k([], set(), 5) == 1.0
+
+    def test_metric_validation(self):
+        with pytest.raises(ValueError):
+            mean_reciprocal_rank([], [])
+        with pytest.raises(ValueError):
+            ndcg_at_k(["a"], {"a": 1}, 0)

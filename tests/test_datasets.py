@@ -1,0 +1,148 @@
+"""Tests for the synthetic data domains: planted structure must be real."""
+
+import numpy as np
+import pytest
+
+from repro.analytics import detect_seasonality, pearson_correlation
+from repro.datasets import (
+    build_ecommerce_registry,
+    build_healthcare_registry,
+    build_swiss_labour_registry,
+)
+
+
+class TestSwissLabour:
+    def test_determinism(self):
+        a = build_swiss_labour_registry(seed=3)
+        b = build_swiss_labour_registry(seed=3)
+        series_a = a.registry.database.catalog.table("barometer").column_values("barometer")
+        series_b = b.registry.database.catalog.table("barometer").column_values("barometer")
+        assert series_a == series_b
+
+    def test_seed_changes_data(self):
+        a = build_swiss_labour_registry(seed=1)
+        b = build_swiss_labour_registry(seed=2)
+        series_a = a.registry.database.catalog.table("barometer").column_values("barometer")
+        series_b = b.registry.database.catalog.table("barometer").column_values("barometer")
+        assert series_a != series_b
+
+    def test_planted_period_detectable(self, swiss_domain):
+        series = swiss_domain.registry.database.catalog.table(
+            "barometer"
+        ).column_values("barometer")
+        result = detect_seasonality(series)
+        assert result.period == swiss_domain.ground_truth.barometer_period
+
+    def test_barometer_has_trend(self, swiss_domain):
+        series = swiss_domain.registry.database.catalog.table(
+            "barometer"
+        ).column_values("barometer")
+        months = list(range(len(series)))
+        slope = np.polyfit(months, series, 1)[0]
+        assert slope == pytest.approx(
+            swiss_domain.ground_truth.barometer_trend_slope, abs=0.02
+        )
+
+    def test_employment_fk_joins(self, swiss_domain):
+        db = swiss_domain.registry.database
+        result = db.execute(
+            "SELECT COUNT(*) FROM employment e "
+            "JOIN cantons c ON e.canton = c.canton"
+        )
+        assert result.scalar() == len(db.catalog.table("employment"))
+
+    def test_largest_sector_planted(self, swiss_domain):
+        db = swiss_domain.registry.database
+        result = db.execute(
+            "SELECT sector, SUM(employees) AS total FROM employment "
+            "GROUP BY sector ORDER BY total DESC LIMIT 1"
+        )
+        assert result.rows[0][0] == swiss_domain.ground_truth.largest_sector
+
+    def test_vocabulary_covers_figure1_phrases(self, swiss_domain):
+        hit = swiss_domain.vocabulary.lookup("working force")
+        assert hit is not None
+        assert hit.term.schema_bindings == ["table:employment"]
+
+    def test_documents_registered(self, swiss_domain):
+        assert "barometer_methodology" in swiss_domain.registry.documents
+
+
+class TestEcommerce:
+    def test_top_revenue_category_planted(self, ecommerce_domain):
+        db = ecommerce_domain.registry.database
+        result = db.execute(
+            "SELECT p.category, SUM(o.amount) AS revenue FROM orders o "
+            "JOIN products p ON o.product_id = p.product_id "
+            "GROUP BY p.category ORDER BY revenue DESC LIMIT 1"
+        )
+        assert result.rows[0][0] == ecommerce_domain.ground_truth.top_revenue_category
+
+    def test_weekly_seasonality_in_order_volume(self, ecommerce_domain):
+        db = ecommerce_domain.registry.database
+        result = db.execute(
+            "SELECT day_index, COUNT(*) AS n FROM orders "
+            "GROUP BY day_index ORDER BY day_index"
+        )
+        counts = dict(result.rows)
+        n_days = ecommerce_domain.ground_truth.n_days
+        series = [counts.get(day, 0) for day in range(n_days)]
+        detected = detect_seasonality(series)
+        assert detected.period == ecommerce_domain.ground_truth.weekly_period
+
+    def test_order_amounts_match_prices(self, ecommerce_domain):
+        db = ecommerce_domain.registry.database
+        result = db.execute(
+            "SELECT o.amount, o.quantity, p.price FROM orders o "
+            "JOIN products p ON o.product_id = p.product_id LIMIT 20"
+        )
+        for amount, quantity, price in result.rows:
+            assert amount == pytest.approx(round(price * quantity, 2))
+
+    def test_fk_integrity(self, ecommerce_domain):
+        db = ecommerce_domain.registry.database
+        orphans = db.execute(
+            "SELECT COUNT(*) FROM orders o "
+            "LEFT JOIN customers c ON o.customer_id = c.customer_id "
+            "WHERE c.customer_id IS NULL"
+        )
+        assert orphans.scalar() == 0
+
+
+class TestHealthcare:
+    def test_costliest_ward_planted(self, healthcare_domain):
+        db = healthcare_domain.registry.database
+        result = db.execute(
+            "SELECT ward, AVG(cost) AS avg_cost FROM visits "
+            "GROUP BY ward ORDER BY avg_cost DESC LIMIT 1"
+        )
+        assert result.rows[0][0] == healthcare_domain.ground_truth.costliest_ward
+
+    def test_yearly_visit_seasonality(self, healthcare_domain):
+        db = healthcare_domain.registry.database
+        result = db.execute(
+            "SELECT month_index, COUNT(*) AS n FROM visits "
+            "GROUP BY month_index ORDER BY month_index"
+        )
+        counts = dict(result.rows)
+        series = [counts.get(month, 0) for month in range(48)]
+        detected = detect_seasonality(series)
+        assert detected.period == healthcare_domain.ground_truth.visit_seasonal_period
+
+    def test_bp_age_correlation_planted(self, healthcare_domain):
+        db = healthcare_domain.registry.database
+        result = db.execute("SELECT age, systolic_bp FROM patients")
+        ages = [row[0] for row in result.rows]
+        pressures = [row[1] for row in result.rows]
+        correlation = pearson_correlation(ages, pressures)
+        assert correlation.coefficient > 0.5
+        assert correlation.significant
+
+    def test_visit_patient_fk(self, healthcare_domain):
+        db = healthcare_domain.registry.database
+        orphans = db.execute(
+            "SELECT COUNT(*) FROM visits v "
+            "LEFT JOIN patients p ON v.patient_id = p.patient_id "
+            "WHERE p.patient_id IS NULL"
+        )
+        assert orphans.scalar() == 0

@@ -1,0 +1,320 @@
+"""Tests for the guidance layer."""
+
+import pytest
+
+from repro.errors import GuidanceError
+from repro.guidance import (
+    ClarificationMode,
+    ClarificationPolicy,
+    ConversationGraph,
+    ConversationPlanner,
+    ExpertiseLevel,
+    SimulatedUser,
+    SuggestionEngine,
+    TurnKind,
+    UserGoal,
+    UserProfiler,
+)
+from repro.guidance.clarification import ClarificationQuestion
+
+
+class TestConversationGraph:
+    def build(self):
+        graph = ConversationGraph()
+        question = graph.add_turn("user", TurnKind.USER_QUESTION, "how many?")
+        answer = graph.add_turn(
+            "system",
+            TurnKind.SYSTEM_ANSWER,
+            "five",
+            confidence=0.9,
+            replies_to=question.turn_id,
+            role="answers",
+        )
+        return graph, question, answer
+
+    def test_turn_ids_increase(self):
+        graph, question, answer = self.build()
+        assert answer.turn_id > question.turn_id
+
+    def test_history_text(self):
+        graph, _question, _answer = self.build()
+        lines = graph.history_text()
+        assert lines == ["user: how many?", "system: five"]
+
+    def test_replies_to(self):
+        graph, question, answer = self.build()
+        assert [t.turn_id for t in graph.replies_to(question.turn_id)] == [
+            answer.turn_id
+        ]
+
+    def test_thread_of(self):
+        graph, question, answer = self.build()
+        thread = [t.turn_id for t in graph.thread_of(answer.turn_id)]
+        assert thread == [question.turn_id, answer.turn_id]
+
+    def test_open_clarification_detection(self):
+        graph = ConversationGraph()
+        question = graph.add_turn("user", TurnKind.USER_QUESTION, "q")
+        graph.add_turn(
+            "system",
+            TurnKind.CLARIFICATION_REQUEST,
+            "which?",
+            replies_to=question.turn_id,
+            role="clarifies",
+        )
+        assert graph.open_clarification() is not None
+        graph.add_turn("user", TurnKind.CLARIFICATION_REPLY, "that one")
+        assert graph.open_clarification() is None
+
+    def test_speculative_turns_hidden_by_default(self):
+        graph, question, _answer = self.build()
+        graph.add_turn(
+            "planner",
+            TurnKind.SPECULATIVE,
+            "what if",
+            replies_to=question.turn_id,
+            role="speculates",
+            speculative=True,
+        )
+        assert len(graph.turns()) == 2
+        assert len(graph.turns(include_speculative=True)) == 3
+        assert len(graph.speculative_children(question.turn_id)) == 1
+
+    def test_mean_confidence(self):
+        graph, _question, _answer = self.build()
+        assert graph.mean_confidence() == pytest.approx(0.9)
+
+    def test_bad_edge_role_rejected(self):
+        graph, question, answer = self.build()
+        with pytest.raises(GuidanceError):
+            graph.link(question.turn_id, answer.turn_id, role="teleports")
+
+    def test_count_by_kind(self):
+        graph, _q, _a = self.build()
+        counts = graph.count_by_kind()
+        assert counts[TurnKind.USER_QUESTION] == 1
+        assert counts[TurnKind.SYSTEM_ANSWER] == 1
+
+
+class TestClarificationPolicy:
+    def test_modes(self):
+        never = ClarificationPolicy(ClarificationMode.NEVER)
+        always = ClarificationPolicy(ClarificationMode.ALWAYS)
+        when = ClarificationPolicy(ClarificationMode.WHEN_AMBIGUOUS)
+        assert not never.should_ask(ambiguous=True)
+        assert always.should_ask(ambiguous=False)
+        assert when.should_ask(ambiguous=True)
+        assert not when.should_ask(ambiguous=False, confidence=0.9)
+
+    def test_low_confidence_triggers(self):
+        policy = ClarificationPolicy(confidence_trigger=0.5)
+        assert policy.should_ask(ambiguous=False, confidence=0.3)
+
+    def test_question_lists_options(self):
+        policy = ClarificationPolicy()
+        question = policy.build_question("q", ["barometer", "employment"])
+        assert "barometer" in question.text
+        assert "employment" in question.text
+
+    def test_question_needs_candidates(self):
+        with pytest.raises(GuidanceError):
+            ClarificationPolicy().build_question("q", [])
+
+    def test_reply_resolution_by_mention(self):
+        policy = ClarificationPolicy()
+        question = ClarificationQuestion(
+            text="?", options=["barometer", "employment"]
+        )
+        assert policy.resolve_reply("the barometer please", question) == "barometer"
+
+    def test_reply_resolution_affirmation(self):
+        policy = ClarificationPolicy()
+        question = ClarificationQuestion(text="?", options=["employment"])
+        assert policy.resolve_reply("yes", question) == "employment"
+
+    def test_unresolvable_reply(self):
+        policy = ClarificationPolicy()
+        question = ClarificationQuestion(text="?", options=["barometer"])
+        assert policy.resolve_reply("pineapples", question) is None
+
+
+class TestPlanner:
+    def test_high_confidence_answers(self):
+        graph = ConversationGraph()
+        turn = graph.add_turn("user", TurnKind.USER_QUESTION, "q")
+        planner = ConversationPlanner()
+        decision = planner.plan(
+            graph, turn.turn_id, confidence=0.95, ambiguous=False, can_suggest=False
+        )
+        assert decision.action == "answer"
+
+    def test_ambiguity_clarifies(self):
+        graph = ConversationGraph()
+        turn = graph.add_turn("user", TurnKind.USER_QUESTION, "q")
+        decision = ConversationPlanner().plan(
+            graph, turn.turn_id, confidence=None, ambiguous=True, can_suggest=False
+        )
+        assert decision.action == "clarify"
+
+    def test_low_confidence_prefers_clarification(self):
+        graph = ConversationGraph()
+        turn = graph.add_turn("user", TurnKind.USER_QUESTION, "q")
+        decision = ConversationPlanner().plan(
+            graph, turn.turn_id, confidence=0.3, ambiguous=False, can_suggest=False
+        )
+        assert decision.action == "clarify"
+
+    def test_nothing_possible_abstains(self):
+        graph = ConversationGraph()
+        turn = graph.add_turn("user", TurnKind.USER_QUESTION, "q")
+        decision = ConversationPlanner().plan(
+            graph, turn.turn_id, confidence=None, ambiguous=False, can_suggest=False
+        )
+        assert decision.action == "abstain"
+
+    def test_scenarios_recorded_in_graph(self):
+        graph = ConversationGraph()
+        turn = graph.add_turn("user", TurnKind.USER_QUESTION, "q")
+        ConversationPlanner().plan(
+            graph, turn.turn_id, confidence=0.7, ambiguous=True, can_suggest=True
+        )
+        speculative = graph.speculative_children(turn.turn_id)
+        assert len(speculative) >= 2
+        assert any(node.metadata.get("chosen") for node in speculative)
+
+    def test_describe(self):
+        graph = ConversationGraph()
+        turn = graph.add_turn("user", TurnKind.USER_QUESTION, "q")
+        decision = ConversationPlanner().plan(
+            graph, turn.turn_id, confidence=0.9, ambiguous=False, can_suggest=False
+        )
+        assert "answer" in decision.describe()
+
+
+class TestSuggestions:
+    def test_time_series_table_gets_analysis_suggestion(self, swiss_domain):
+        from repro.kg import SchemaKnowledgeGraph
+
+        kg = SchemaKnowledgeGraph(swiss_domain.registry.database.catalog)
+        engine = SuggestionEngine(kg)
+        suggestions = engine.suggest("barometer")
+        assert any(s.kind == "analysis" for s in suggestions)
+
+    def test_related_dataset_via_fk(self, employees_kg):
+        engine = SuggestionEngine(employees_kg)
+        suggestions = engine.suggest("employees")
+        datasets = [s for s in suggestions if s.kind == "dataset"]
+        assert datasets
+        assert datasets[0].payload["table"] == "departments"
+
+    def test_drill_down_skips_used_columns(self, employees_kg):
+        engine = SuggestionEngine(employees_kg)
+        fresh = engine.suggest("employees", max_suggestions=10)
+        used = engine.suggest("employees", {"department", "city"}, max_suggestions=10)
+        fresh_drills = {s.payload.get("group_by") for s in fresh if s.kind == "drill_down"}
+        used_drills = {s.payload.get("group_by") for s in used if s.kind == "drill_down"}
+        assert "department" in fresh_drills
+        assert "department" not in used_drills
+
+    def test_max_suggestions_respected(self, employees_kg):
+        engine = SuggestionEngine(employees_kg)
+        assert len(engine.suggest("employees", max_suggestions=2)) <= 2
+
+
+class TestProfiler:
+    def test_novice_stays_novice(self):
+        profiler = UserProfiler()
+        for _ in range(4):
+            profile = profiler.observe("show me stuff")
+        assert profile.level in (ExpertiseLevel.NOVICE, ExpertiseLevel.INTERMEDIATE)
+
+    def test_technical_questions_raise_expertise(self):
+        profiler = UserProfiler(schema_terms={"salary", "department"})
+        for _ in range(6):
+            profile = profiler.observe(
+                "decompose the salary distribution per department and report "
+                "the variance, correlation and confidence interval of the regression"
+            )
+        assert profile.level is ExpertiseLevel.EXPERT
+        assert profile.prefers_terse_answers
+
+    def test_profile_moves_gradually(self):
+        profiler = UserProfiler()
+        first = profiler.observe("seasonality regression variance correlation query")
+        assert first.level is not ExpertiseLevel.EXPERT  # one question isn't enough
+
+
+class TestSimulatedUser:
+    def make_goal(self):
+        return UserGoal(
+            clear_question="how many employees are there",
+            vague_question="tell me about the people",
+            gold_sql="SELECT COUNT(*) FROM employees",
+            gold_rows=[(5,)],
+            target_terms=["employees"],
+        )
+
+    def test_opening_question_vague_vs_clear(self):
+        vague = SimulatedUser(self.make_goal(), ambiguous_opening=True)
+        clear = SimulatedUser(self.make_goal(), ambiguous_opening=False)
+        assert vague.opening_question() == "tell me about the people"
+        assert clear.opening_question() == "how many employees are there"
+
+    def test_clarification_answer_matches_goal(self):
+        user = SimulatedUser(self.make_goal())
+        question = ClarificationQuestion(
+            text="?", options=["departments", "employees"]
+        )
+        assert user.answer_clarification(question) == "employees"
+
+    def test_judge_answer(self):
+        user = SimulatedUser(self.make_goal())
+        assert user.judge_answer([(5,)])
+        assert not user.judge_answer([(4,)])
+        assert not user.judge_answer(None)
+
+    def test_patience_exhausts(self):
+        user = SimulatedUser(self.make_goal(), patience=2)
+        user.opening_question()
+        user.rephrase()
+        assert user.exhausted
+
+
+class TestGraphSerialisation:
+    def test_round_trip(self):
+        graph = ConversationGraph()
+        question = graph.add_turn("user", TurnKind.USER_QUESTION, "how many?")
+        graph.add_turn(
+            "system", TurnKind.SYSTEM_ANSWER, "five",
+            confidence=0.9, replies_to=question.turn_id, role="answers",
+        )
+        payload = graph.to_dict()
+        rebuilt = ConversationGraph.from_dict(payload)
+        assert rebuilt.history_text() == graph.history_text()
+        assert rebuilt.to_dict() == payload
+
+    def test_speculative_turns_survive(self):
+        graph = ConversationGraph()
+        question = graph.add_turn("user", TurnKind.USER_QUESTION, "q")
+        graph.add_turn(
+            "planner", TurnKind.SPECULATIVE, "what if",
+            replies_to=question.turn_id, role="speculates", speculative=True,
+        )
+        rebuilt = ConversationGraph.from_dict(graph.to_dict())
+        assert len(rebuilt.turns(include_speculative=True)) == 2
+        assert len(rebuilt.turns()) == 1
+
+    def test_bad_edge_rejected(self):
+        with pytest.raises(GuidanceError):
+            ConversationGraph.from_dict(
+                {"turns": [], "edges": [{"from": 0, "to": 1, "role": "follows"}]}
+            )
+
+    def test_json_serialisable(self):
+        import json
+
+        graph = ConversationGraph()
+        graph.add_turn("user", TurnKind.USER_QUESTION, "q", metadata={"k": 1})
+        text = json.dumps(graph.to_dict())
+        rebuilt = ConversationGraph.from_dict(json.loads(text))
+        assert rebuilt.turn(0).metadata == {"k": 1}

@@ -1,0 +1,202 @@
+"""Cross-module integration tests: whole-system behaviours."""
+
+import numpy as np
+import pytest
+
+from repro.benchgen import WorkloadSpec, build_workload, execution_accuracy
+from repro.core import AnswerKind, CDAEngine, ReliabilityConfig
+from repro.datasets import build_ecommerce_registry, build_swiss_labour_registry
+from repro.guidance import SimulatedUser, UserGoal
+from repro.kg import SchemaKnowledgeGraph
+from repro.nl import GroundedSemanticParser, SimulatedLLM
+
+
+class TestParserOverGeneratedWorkloads:
+    """The grounded parser must solve clean generated workloads near-perfectly."""
+
+    def test_clean_workload_high_accuracy(self):
+        workload = build_workload(
+            WorkloadSpec(n_questions_per_domain=18, n_domains=3, seed=21)
+        )
+        correct = 0
+        for item in workload.items:
+            kg = SchemaKnowledgeGraph(item.spec.database.catalog)
+            parser = GroundedSemanticParser(kg)
+            try:
+                outcome = parser.parse(item.surface_question)
+                result = item.spec.database.execute(outcome.sql)
+            except Exception:  # noqa: BLE001 - count as failure
+                continue
+            ordered = item.case.template == "top_n"
+            if execution_accuracy(result.rows, item.case.gold_rows, ordered=ordered):
+                correct += 1
+        assert correct / len(workload.items) >= 0.9
+
+    def test_noise_degrades_gracefully(self):
+        def accuracy(strength):
+            workload = build_workload(
+                WorkloadSpec(
+                    n_questions_per_domain=12, n_domains=2,
+                    paraphrase_strength=strength, seed=22,
+                )
+            )
+            correct = 0
+            for item in workload.items:
+                kg = SchemaKnowledgeGraph(item.spec.database.catalog)
+                parser = GroundedSemanticParser(kg)
+                try:
+                    outcome = parser.parse(item.surface_question)
+                    result = item.spec.database.execute(outcome.sql)
+                except Exception:  # noqa: BLE001
+                    continue
+                ordered = item.case.template == "top_n"
+                if execution_accuracy(
+                    result.rows, item.case.gold_rows, ordered=ordered
+                ):
+                    correct += 1
+            return correct / len(workload.items)
+
+        clean = accuracy(0.0)
+        noisy = accuracy(0.8)
+        assert clean >= 0.9
+        assert noisy >= 0.5  # degraded but not collapsed
+        assert clean >= noisy
+
+
+class TestEndToEndReliability:
+    """E7 in miniature: full CDA beats LLM-only on an unreliable generator."""
+
+    def run_condition(self, config, error_rate, n_questions=12):
+        workload = build_workload(
+            WorkloadSpec(n_questions_per_domain=n_questions, n_domains=1, seed=31)
+        )
+        correct = 0
+        wrong = 0
+        abstained = 0
+        for item in workload.items:
+            from repro.datasets.registry import DataSourceRegistry
+
+            registry = DataSourceRegistry(item.spec.database)
+            llm = SimulatedLLM(
+                item.spec.database.catalog, error_rate=error_rate, seed=41
+            )
+            engine = CDAEngine(registry, config=config, llm=llm)
+            answer = engine.ask(
+                item.case.question, llm_gold_sql=item.case.gold_sql
+            )
+            if answer.kind is AnswerKind.DATA:
+                ordered = item.case.template == "top_n"
+                if execution_accuracy(
+                    answer.rows, item.case.gold_rows, ordered=ordered
+                ):
+                    correct += 1
+                else:
+                    wrong += 1
+            else:
+                abstained += 1
+        return correct, wrong, abstained
+
+    def test_full_cda_fewer_wrong_answers_than_llm_only(self):
+        llm_correct, llm_wrong, _ = self.run_condition(
+            ReliabilityConfig.llm_only(), error_rate=0.5
+        )
+        cda_correct, cda_wrong, _ = self.run_condition(
+            ReliabilityConfig.full(), error_rate=0.5
+        )
+        assert cda_wrong < max(llm_wrong, 1)
+        assert cda_correct >= llm_correct
+
+    def test_grounded_parser_ignores_llm_noise(self):
+        # With the parser on, even a 100%-hallucinating LLM cannot hurt
+        # questions the parser translates itself.
+        correct, wrong, _ = self.run_condition(
+            ReliabilityConfig.full(), error_rate=1.0
+        )
+        assert wrong <= 1
+        assert correct >= 8
+
+
+class TestGuidedDialogues:
+    """E6 in miniature: clarification converts failures into successes."""
+
+    def make_engine(self, mode):
+        from repro.guidance.clarification import ClarificationMode
+
+        domain = build_swiss_labour_registry(seed=17)
+        config = ReliabilityConfig(clarification_mode=ClarificationMode(mode))
+        return CDAEngine(domain.registry, domain.vocabulary, config=config)
+
+    def run_dialogue(self, engine, user):
+        answer = engine.ask(user.opening_question())
+        while not user.exhausted:
+            if answer.kind is AnswerKind.CLARIFICATION and answer.clarification:
+                answer = engine.ask(user.answer_clarification(answer.clarification))
+            elif answer.kind is AnswerKind.DISCOVERY and answer.clarification:
+                answer = engine.ask(user.answer_clarification(answer.clarification))
+            elif answer.kind is AnswerKind.DATA:
+                return user.judge_answer(answer.rows), user.turns_spoken
+            elif answer.kind is AnswerKind.METADATA:
+                # The right dataset is in focus now; ask the real question.
+                answer = engine.ask(user.rephrase())
+            elif answer.kind in (AnswerKind.ABSTENTION, AnswerKind.ERROR):
+                answer = engine.ask(user.rephrase())
+            else:
+                return user.judge_answer(answer.rows), user.turns_spoken
+        return False, user.turns_spoken
+
+    def test_vague_goal_reached_through_guidance(self):
+        engine = self.make_engine("when_ambiguous")
+        goal = UserGoal(
+            clear_question="how many employment records are there",
+            vague_question="tell me something about the jobs data",
+            gold_sql="SELECT COUNT(*) FROM employment",
+            gold_rows=[(160,)],
+            target_terms=["employment"],
+        )
+        user = SimulatedUser(goal, ambiguous_opening=True, patience=6)
+        success, _turns = self.run_dialogue(engine, user)
+        assert success
+
+    def test_clear_question_needs_fewer_turns(self):
+        goal = UserGoal(
+            clear_question="how many cantons are there",
+            vague_question="what about the regions",
+            gold_sql="SELECT COUNT(*) FROM cantons",
+            gold_rows=[(8,)],
+            target_terms=["cantons"],
+        )
+        engine = self.make_engine("when_ambiguous")
+        clear_user = SimulatedUser(goal, ambiguous_opening=False, patience=6)
+        success, turns = self.run_dialogue(engine, clear_user)
+        assert success
+        assert turns == 1
+
+
+class TestProvenanceAcrossTheStack:
+    def test_answer_sources_trace_to_base_rows(self):
+        domain = build_ecommerce_registry(seed=19)
+        engine = CDAEngine(domain.registry, domain.vocabulary)
+        answer = engine.ask("how many customers are there")
+        assert answer.explanation is not None
+        for table, row_id in answer.explanation.source_rows:
+            record = engine.database.fetch_source_row(table, row_id)
+            assert record  # every cited row is fetchable
+
+    def test_session_tracker_builds_graph(self):
+        domain = build_swiss_labour_registry(seed=23)
+        engine = CDAEngine(domain.registry, domain.vocabulary)
+        engine.ask("how many cantons are there")
+        graph = engine.session.tracker.build_graph()
+        assert len(graph) >= 2
+
+
+class TestDeterminismEndToEnd:
+    def test_same_seed_same_conversation(self):
+        answers = []
+        for _ in range(2):
+            domain = build_swiss_labour_registry(seed=29)
+            engine = CDAEngine(domain.registry, domain.vocabulary)
+            first = engine.ask("how many employment records are there")
+            second = engine.ask("what is the barometer?")
+            answers.append((first.text, first.rows, second.text))
+        assert answers[0] == answers[1]

@@ -1,0 +1,219 @@
+"""Tests for scalar functions and aggregate accumulators."""
+
+import math
+
+import pytest
+
+from repro.errors import ExecutionError
+from repro.sqldb.aggregates import aggregate_names, make_aggregator
+from repro.sqldb.functions import call_scalar_function, scalar_function_names
+
+
+def call(name, *args):
+    return call_scalar_function(name, list(args))
+
+
+class TestStringFunctions:
+    def test_upper_lower(self):
+        assert call("UPPER", "abc") == "ABC"
+        assert call("LOWER", "ABC") == "abc"
+
+    def test_length(self):
+        assert call("LENGTH", "hello") == 5
+
+    def test_trim(self):
+        assert call("TRIM", "  x  ") == "x"
+
+    def test_substr(self):
+        assert call("SUBSTR", "hello", 2) == "ello"
+        assert call("SUBSTR", "hello", 2, 3) == "ell"
+
+    def test_substr_one_based(self):
+        with pytest.raises(ExecutionError):
+            call("SUBSTR", "hello", 0)
+
+    def test_replace(self):
+        assert call("REPLACE", "aXbX", "X", "-") == "a-b-"
+
+    def test_concat(self):
+        assert call("CONCAT", "a", "b", "c") == "abc"
+
+
+class TestNumericFunctions:
+    def test_abs(self):
+        assert call("ABS", -3) == 3
+
+    def test_round_default(self):
+        assert call("ROUND", 2.6) == 3
+        assert isinstance(call("ROUND", 2.6), int)
+
+    def test_round_digits(self):
+        assert call("ROUND", 2.345, 2) == 2.35
+
+    def test_floor_ceil(self):
+        assert call("FLOOR", 2.9) == 2
+        assert call("CEIL", 2.1) == 3
+
+    def test_sqrt(self):
+        assert call("SQRT", 9) == 3.0
+
+    def test_sqrt_negative(self):
+        with pytest.raises(ExecutionError):
+            call("SQRT", -1)
+
+    def test_power(self):
+        assert call("POWER", 2, 10) == 1024.0
+
+    def test_mod(self):
+        assert call("MOD", 7, 3) == 1
+
+    def test_mod_zero(self):
+        with pytest.raises(ExecutionError):
+            call("MOD", 1, 0)
+
+
+class TestDateFunctions:
+    def test_year_month_day(self):
+        assert call("YEAR", "2024-03-15") == 2024
+        assert call("MONTH", "2024-03-15") == 3
+        assert call("DAY", "2024-03-15") == 15
+
+    def test_invalid_date(self):
+        with pytest.raises(ExecutionError):
+            call("YEAR", "not-a-date")
+
+
+class TestNullHandling:
+    def test_null_passthrough(self):
+        assert call("UPPER", None) is None
+        assert call("ROUND", None) is None
+
+    def test_coalesce(self):
+        assert call("COALESCE", None, None, 3) == 3
+        assert call("COALESCE", None, None) is None
+
+    def test_nullif(self):
+        assert call("NULLIF", 1, 1) is None
+        assert call("NULLIF", 1, 2) == 1
+        assert call("NULLIF", None, 1) is None
+
+    def test_ifnull(self):
+        assert call("IFNULL", None, 5) == 5
+        assert call("IFNULL", 1, 5) == 1
+
+
+class TestFunctionErrors:
+    def test_unknown_function(self):
+        with pytest.raises(ExecutionError):
+            call("NOPE", 1)
+
+    def test_arity_check(self):
+        with pytest.raises(ExecutionError):
+            call("UPPER", "a", "b")
+
+    def test_type_check(self):
+        with pytest.raises(ExecutionError):
+            call("UPPER", 5)
+
+    def test_registry_listing(self):
+        names = scalar_function_names()
+        assert "UPPER" in names
+        assert names == sorted(names)
+
+
+class TestAggregators:
+    def test_count_skips_nulls(self):
+        agg = make_aggregator("COUNT")
+        for value in [1, None, 2, None]:
+            agg.step(value)
+        assert agg.finalize() == 2
+
+    def test_count_star_counts_everything(self):
+        agg = make_aggregator("COUNT", star=True)
+        for value in [1, None, 2]:
+            agg.step(value)
+        assert agg.finalize() == 3
+
+    def test_sum(self):
+        agg = make_aggregator("SUM")
+        for value in [1, 2, None, 3]:
+            agg.step(value)
+        assert agg.finalize() == 6
+
+    def test_sum_all_null_is_null(self):
+        agg = make_aggregator("SUM")
+        agg.step(None)
+        assert agg.finalize() is None
+
+    def test_avg(self):
+        agg = make_aggregator("AVG")
+        for value in [2, 4, None]:
+            agg.step(value)
+        assert agg.finalize() == 3.0
+
+    def test_avg_empty_is_null(self):
+        assert make_aggregator("AVG").finalize() is None
+
+    def test_min_max(self):
+        low = make_aggregator("MIN")
+        high = make_aggregator("MAX")
+        for value in [3, None, 1, 2]:
+            low.step(value)
+            high.step(value)
+        assert low.finalize() == 1
+        assert high.finalize() == 3
+
+    def test_min_on_strings(self):
+        agg = make_aggregator("MIN")
+        for value in ["pear", "apple"]:
+            agg.step(value)
+        assert agg.finalize() == "apple"
+
+    def test_variance_and_stddev(self):
+        values = [2.0, 4.0, 4.0, 4.0, 5.0, 5.0, 7.0, 9.0]
+        var = make_aggregator("VARIANCE")
+        std = make_aggregator("STDDEV")
+        for value in values:
+            var.step(value)
+            std.step(value)
+        assert var.finalize() == pytest.approx(32.0 / 7.0)
+        assert std.finalize() == pytest.approx(math.sqrt(32.0 / 7.0))
+
+    def test_variance_needs_two_values(self):
+        agg = make_aggregator("VARIANCE")
+        agg.step(1.0)
+        assert agg.finalize() is None
+
+    def test_distinct_wrapper(self):
+        agg = make_aggregator("SUM", distinct=True)
+        for value in [1, 1, 2, 2, 3]:
+            agg.step(value)
+        assert agg.finalize() == 6
+
+    def test_count_distinct(self):
+        agg = make_aggregator("COUNT", distinct=True)
+        for value in ["a", "a", "b", None]:
+            agg.step(value)
+        assert agg.finalize() == 2
+
+    def test_star_only_for_count(self):
+        with pytest.raises(ExecutionError):
+            make_aggregator("SUM", star=True)
+
+    def test_count_distinct_star_invalid(self):
+        with pytest.raises(ExecutionError):
+            make_aggregator("COUNT", star=True, distinct=True)
+
+    def test_unknown_aggregate(self):
+        with pytest.raises(ExecutionError):
+            make_aggregator("MEDIAN")
+
+    def test_sum_rejects_text(self):
+        agg = make_aggregator("SUM")
+        with pytest.raises(ExecutionError):
+            agg.step("x")
+
+    def test_names(self):
+        assert set(aggregate_names()) == {
+            "AVG", "COUNT", "MAX", "MIN", "STDDEV", "SUM", "VARIANCE"
+        }

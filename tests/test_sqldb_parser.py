@@ -1,0 +1,217 @@
+"""Tests for the SQL parser and AST round-tripping."""
+
+import pytest
+
+from repro.errors import ParseError
+from repro.sqldb import ast
+from repro.sqldb.parser import parse_expression, parse_sql
+
+
+class TestSelectParsing:
+    def test_simple_select(self):
+        stmt = parse_sql("SELECT a, b FROM t")
+        assert isinstance(stmt, ast.SelectStatement)
+        assert len(stmt.items) == 2
+        assert stmt.from_table.name == "t"
+
+    def test_select_without_from(self):
+        stmt = parse_sql("SELECT 1 + 2")
+        assert stmt.from_table is None
+
+    def test_distinct(self):
+        assert parse_sql("SELECT DISTINCT a FROM t").distinct
+
+    def test_aliases(self):
+        stmt = parse_sql("SELECT a AS x, b y FROM t AS s")
+        assert stmt.items[0].alias == "x"
+        assert stmt.items[1].alias == "y"
+        assert stmt.from_table.alias == "s"
+
+    def test_star(self):
+        stmt = parse_sql("SELECT * FROM t")
+        assert isinstance(stmt.items[0].expression, ast.Star)
+
+    def test_qualified_star(self):
+        stmt = parse_sql("SELECT t.* FROM t")
+        star = stmt.items[0].expression
+        assert isinstance(star, ast.Star)
+        assert star.table == "t"
+
+    def test_where_group_having_order_limit(self):
+        stmt = parse_sql(
+            "SELECT dept, COUNT(*) AS n FROM emp WHERE salary > 10 "
+            "GROUP BY dept HAVING COUNT(*) > 1 ORDER BY n DESC LIMIT 5 OFFSET 2"
+        )
+        assert stmt.where is not None
+        assert len(stmt.group_by) == 1
+        assert stmt.having is not None
+        assert stmt.order_by[0].descending
+        assert stmt.limit == 5
+        assert stmt.offset == 2
+
+    def test_joins(self):
+        stmt = parse_sql(
+            "SELECT * FROM a JOIN b ON a.x = b.x "
+            "LEFT JOIN c ON b.y = c.y CROSS JOIN d"
+        )
+        kinds = [join.kind for join in stmt.joins]
+        assert kinds == ["INNER", "LEFT", "CROSS"]
+        assert stmt.joins[2].condition is None
+
+    def test_inner_keyword_optional(self):
+        stmt = parse_sql("SELECT * FROM a INNER JOIN b ON a.x = b.x")
+        assert stmt.joins[0].kind == "INNER"
+
+    def test_trailing_semicolon(self):
+        assert parse_sql("SELECT 1;") is not None
+
+    def test_trailing_garbage_rejected(self):
+        with pytest.raises(ParseError):
+            parse_sql("SELECT 1 garbage extra")
+
+
+class TestExpressionParsing:
+    def test_precedence_arithmetic(self):
+        expr = parse_expression("1 + 2 * 3")
+        assert isinstance(expr, ast.BinaryOp)
+        assert expr.operator == "+"
+        assert isinstance(expr.right, ast.BinaryOp)
+        assert expr.right.operator == "*"
+
+    def test_precedence_logic(self):
+        expr = parse_expression("a = 1 OR b = 2 AND c = 3")
+        assert expr.operator == "OR"
+        assert expr.right.operator == "AND"
+
+    def test_parentheses_override(self):
+        expr = parse_expression("(1 + 2) * 3")
+        assert expr.operator == "*"
+
+    def test_not(self):
+        expr = parse_expression("NOT a = 1")
+        assert isinstance(expr, ast.UnaryOp)
+        assert expr.operator == "NOT"
+
+    def test_unary_minus(self):
+        expr = parse_expression("-5")
+        assert isinstance(expr, ast.UnaryOp)
+
+    def test_unary_plus_absorbed(self):
+        expr = parse_expression("+5")
+        assert isinstance(expr, ast.Literal)
+
+    def test_is_null(self):
+        expr = parse_expression("a IS NULL")
+        assert isinstance(expr, ast.IsNull)
+        assert not expr.negated
+
+    def test_is_not_null(self):
+        expr = parse_expression("a IS NOT NULL")
+        assert expr.negated
+
+    def test_in_list(self):
+        expr = parse_expression("a IN (1, 2, 3)")
+        assert isinstance(expr, ast.InList)
+        assert len(expr.items) == 3
+
+    def test_not_in(self):
+        assert parse_expression("a NOT IN (1)").negated
+
+    def test_between(self):
+        expr = parse_expression("a BETWEEN 1 AND 10")
+        assert isinstance(expr, ast.Between)
+
+    def test_not_between(self):
+        assert parse_expression("a NOT BETWEEN 1 AND 10").negated
+
+    def test_like(self):
+        expr = parse_expression("name LIKE 'a%'")
+        assert isinstance(expr, ast.Like)
+
+    def test_case_when(self):
+        expr = parse_expression("CASE WHEN a > 1 THEN 'big' ELSE 'small' END")
+        assert isinstance(expr, ast.CaseWhen)
+        assert expr.default is not None
+
+    def test_case_requires_when(self):
+        with pytest.raises(ParseError):
+            parse_expression("CASE END")
+
+    def test_function_call(self):
+        expr = parse_expression("UPPER(name)")
+        assert isinstance(expr, ast.FunctionCall)
+        assert expr.name == "UPPER"
+
+    def test_aggregate_count_star(self):
+        expr = parse_expression("COUNT(*)")
+        assert isinstance(expr, ast.AggregateCall)
+        assert isinstance(expr.argument, ast.Star)
+
+    def test_aggregate_distinct(self):
+        expr = parse_expression("COUNT(DISTINCT a)")
+        assert expr.distinct
+
+    def test_literals(self):
+        assert parse_expression("NULL").value is None
+        assert parse_expression("TRUE").value is True
+        assert parse_expression("FALSE").value is False
+        assert parse_expression("'s'").value == "s"
+
+    def test_qualified_column(self):
+        expr = parse_expression("t.col")
+        assert expr.table == "t"
+        assert expr.name == "col"
+
+    def test_concat_operator(self):
+        expr = parse_expression("a || b")
+        assert expr.operator == "||"
+
+
+class TestDDLAndDML:
+    def test_create_table(self):
+        stmt = parse_sql(
+            "CREATE TABLE t (id INT PRIMARY KEY, name TEXT NOT NULL, score FLOAT)"
+        )
+        assert isinstance(stmt, ast.CreateTableStatement)
+        assert stmt.columns[0].primary_key
+        assert stmt.columns[1].not_null
+
+    def test_insert_positional(self):
+        stmt = parse_sql("INSERT INTO t VALUES (1, 'a'), (2, 'b')")
+        assert isinstance(stmt, ast.InsertStatement)
+        assert len(stmt.rows) == 2
+        assert stmt.columns == ()
+
+    def test_insert_with_columns(self):
+        stmt = parse_sql("INSERT INTO t (a, b) VALUES (1, 2)")
+        assert stmt.columns == ("a", "b")
+
+    def test_unknown_statement(self):
+        with pytest.raises(ParseError):
+            parse_sql("DELETE FROM t")
+
+
+class TestRoundTrip:
+    """text -> AST -> text -> AST must be a fixpoint (losslessness)."""
+
+    @pytest.mark.parametrize(
+        "sql",
+        [
+            "SELECT a FROM t",
+            "SELECT DISTINCT a, b AS x FROM t WHERE (a > 1) ORDER BY a ASC LIMIT 3",
+            "SELECT dept, COUNT(*) FROM emp GROUP BY dept HAVING (COUNT(*) > 2)",
+            "SELECT * FROM a INNER JOIN b ON (a.x = b.x)",
+            "SELECT CASE WHEN (a > 1) THEN 'x' ELSE 'y' END FROM t",
+            "SELECT a FROM t WHERE (name LIKE 'a%') OR (a IN (1, 2))",
+            "SELECT a FROM t WHERE a BETWEEN 1 AND 2",
+        ],
+    )
+    def test_fixpoint(self, sql):
+        once = parse_sql(sql).to_sql()
+        twice = parse_sql(once).to_sql()
+        assert once == twice
+
+    def test_expression_round_trip_preserves_meaning(self):
+        original = parse_expression("a + 2 * b - 1")
+        rebuilt = parse_expression(original.to_sql())
+        assert rebuilt.to_sql() == original.to_sql()

@@ -1,0 +1,128 @@
+"""Tests for the SQL lexer."""
+
+import pytest
+
+from repro.errors import TokenizeError
+from repro.sqldb.tokenizer import Token, TokenType, tokenize
+
+
+def kinds(sql):
+    return [token.type for token in tokenize(sql)]
+
+
+def values(sql):
+    return [token.value for token in tokenize(sql)[:-1]]
+
+
+class TestBasicTokens:
+    def test_keywords_are_uppercased(self):
+        tokens = tokenize("select from where")
+        assert [t.value for t in tokens[:-1]] == ["SELECT", "FROM", "WHERE"]
+        assert all(t.type is TokenType.KEYWORD for t in tokens[:-1])
+
+    def test_identifiers_keep_case(self):
+        tokens = tokenize("SELECT MyColumn")
+        assert tokens[1].type is TokenType.IDENTIFIER
+        assert tokens[1].value == "MyColumn"
+
+    def test_eof_is_appended(self):
+        tokens = tokenize("")
+        assert len(tokens) == 1
+        assert tokens[0].type is TokenType.EOF
+
+    def test_integer_literal(self):
+        token = tokenize("42")[0]
+        assert token.type is TokenType.INTEGER
+        assert token.value == "42"
+
+    def test_float_literal(self):
+        token = tokenize("3.25")[0]
+        assert token.type is TokenType.FLOAT
+
+    def test_float_with_exponent(self):
+        token = tokenize("1.5e-3")[0]
+        assert token.type is TokenType.FLOAT
+        assert token.value == "1.5e-3"
+
+    def test_leading_dot_float(self):
+        token = tokenize(".5")[0]
+        assert token.type is TokenType.FLOAT
+        assert token.value == ".5"
+
+    def test_string_literal(self):
+        token = tokenize("'hello world'")[0]
+        assert token.type is TokenType.STRING
+        assert token.value == "hello world"
+
+    def test_string_with_escaped_quote(self):
+        token = tokenize("'it''s'")[0]
+        assert token.value == "it's"
+
+    def test_quoted_identifier(self):
+        token = tokenize('"select"')[0]
+        assert token.type is TokenType.IDENTIFIER
+        assert token.value == "select"
+
+
+class TestOperators:
+    @pytest.mark.parametrize(
+        "operator", ["=", "<>", "!=", "<", "<=", ">", ">=", "+", "-", "*", "/", "%", "||"]
+    )
+    def test_operator_roundtrip(self, operator):
+        token = tokenize(f"a {operator} b")[1]
+        assert token.type is TokenType.OPERATOR
+        assert token.value == operator
+
+    def test_two_char_operator_not_split(self):
+        assert values("a <= b") == ["a", "<=", "b"]
+
+    def test_punctuation(self):
+        tokens = tokenize("(a, b);")
+        punct = [t.value for t in tokens if t.type is TokenType.PUNCTUATION]
+        assert punct == ["(", ",", ")", ";"]
+
+
+class TestCommentsAndWhitespace:
+    def test_line_comment_is_skipped(self):
+        assert values("SELECT a -- comment here\nFROM t") == ["SELECT", "a", "FROM", "t"]
+
+    def test_trailing_comment_without_newline(self):
+        assert values("SELECT 1 -- done") == ["SELECT", "1"]
+
+    def test_whitespace_variants(self):
+        assert values("SELECT\t1\n,\r 2") == ["SELECT", "1", ",", "2"]
+
+
+class TestErrors:
+    def test_unterminated_string(self):
+        with pytest.raises(TokenizeError):
+            tokenize("'oops")
+
+    def test_unterminated_quoted_identifier(self):
+        with pytest.raises(TokenizeError):
+            tokenize('"oops')
+
+    def test_empty_quoted_identifier(self):
+        with pytest.raises(TokenizeError):
+            tokenize('""')
+
+    def test_unknown_character(self):
+        with pytest.raises(TokenizeError) as excinfo:
+            tokenize("SELECT @x")
+        assert excinfo.value.position == 7
+
+    def test_positions_recorded(self):
+        tokens = tokenize("SELECT abc")
+        assert tokens[0].position == 0
+        assert tokens[1].position == 7
+
+
+class TestTokenHelpers:
+    def test_matches_keyword(self):
+        token = Token(TokenType.KEYWORD, "SELECT", 0)
+        assert token.matches_keyword("SELECT", "FROM")
+        assert not token.matches_keyword("FROM")
+
+    def test_identifier_never_matches_keyword(self):
+        token = Token(TokenType.IDENTIFIER, "SELECT", 0)
+        assert not token.matches_keyword("SELECT")

@@ -1,0 +1,60 @@
+"""Tests for the hashing text embedder."""
+
+import numpy as np
+import pytest
+
+from repro.errors import VectorError
+from repro.vector.embedding import HashingEmbedder, tokenize_text
+
+
+class TestTokenizer:
+    def test_lowercases_and_splits(self):
+        assert tokenize_text("Hello, World-2024!") == ["hello", "world", "2024"]
+
+    def test_empty(self):
+        assert tokenize_text("...") == []
+
+
+class TestEmbedder:
+    def test_deterministic(self):
+        embedder = HashingEmbedder(dim=32)
+        a = embedder.embed("labour market data")
+        b = embedder.embed("labour market data")
+        np.testing.assert_array_equal(a, b)
+
+    def test_normalised(self):
+        embedder = HashingEmbedder(dim=32)
+        vector = embedder.embed("some text here")
+        assert np.linalg.norm(vector) == pytest.approx(1.0)
+
+    def test_empty_text_is_zero(self):
+        embedder = HashingEmbedder(dim=16)
+        assert np.linalg.norm(embedder.embed("")) == 0.0
+
+    def test_similar_texts_closer_than_dissimilar(self):
+        embedder = HashingEmbedder(dim=128)
+        base = "swiss labour market statistics"
+        near = embedder.similarity(base, "labour market statistics of switzerland")
+        far = embedder.similarity(base, "chocolate cake recipe with walnuts")
+        assert near > far
+
+    def test_shared_ngrams_give_typo_robustness(self):
+        embedder = HashingEmbedder(dim=128)
+        assert embedder.similarity("barometer", "barometr") > 0.4
+
+    def test_batch_alignment(self):
+        embedder = HashingEmbedder(dim=32)
+        texts = ["a b c", "d e f"]
+        matrix = embedder.embed_batch(texts)
+        np.testing.assert_array_equal(matrix[0], embedder.embed(texts[0]))
+        np.testing.assert_array_equal(matrix[1], embedder.embed(texts[1]))
+
+    def test_empty_batch(self):
+        assert HashingEmbedder(dim=8).embed_batch([]).shape == (0, 8)
+
+    def test_dim_validation(self):
+        with pytest.raises(VectorError):
+            HashingEmbedder(dim=0)
+
+    def test_dim_respected(self):
+        assert HashingEmbedder(dim=48).embed("x").shape == (48,)

@@ -1,0 +1,300 @@
+"""Tests for the similarity-search substrate."""
+
+import numpy as np
+import pytest
+
+from repro.errors import (
+    DimensionMismatchError,
+    IndexNotBuiltError,
+    VectorError,
+)
+from repro.vector import (
+    BruteForceIndex,
+    HNSWIndex,
+    IVFIndex,
+    LSHIndex,
+    LearnedStopIVFIndex,
+    Metric,
+    ProgressiveIndex,
+    VectorDataset,
+    generate_clustered_dataset,
+    pairwise_distances,
+)
+from repro.vector.base import recall_at_k
+from repro.vector.dataset import generate_query_set
+from repro.vector.kmeans import kmeans
+from repro.vector.progressive import prefix_containment_probability
+
+
+class TestDistances:
+    def test_l2_matches_numpy(self):
+        rng = np.random.default_rng(0)
+        query = rng.normal(size=8)
+        data = rng.normal(size=(20, 8))
+        ours = pairwise_distances(query, data, Metric.L2)
+        reference = np.linalg.norm(data - query, axis=1)
+        np.testing.assert_allclose(ours, reference)
+
+    def test_cosine_range(self):
+        rng = np.random.default_rng(0)
+        query = rng.normal(size=8)
+        data = rng.normal(size=(20, 8))
+        distances = pairwise_distances(query, data, Metric.COSINE)
+        assert np.all(distances >= -1e-9)
+        assert np.all(distances <= 2 + 1e-9)
+
+    def test_cosine_zero_vector(self):
+        query = np.ones(4)
+        data = np.zeros((1, 4))
+        assert pairwise_distances(query, data, Metric.COSINE)[0] == 1.0
+
+    def test_inner_product_is_negated_dot(self):
+        query = np.array([1.0, 0.0])
+        data = np.array([[2.0, 0.0], [0.5, 0.0]])
+        distances = pairwise_distances(query, data, Metric.INNER_PRODUCT)
+        assert distances[0] < distances[1]
+
+    def test_dimension_mismatch(self):
+        with pytest.raises(DimensionMismatchError):
+            pairwise_distances(np.ones(3), np.ones((5, 4)))
+
+
+class TestDataset:
+    def test_clustered_generation_shape(self):
+        rng = np.random.default_rng(0)
+        dataset = generate_clustered_dataset(100, 8, 5, rng)
+        assert len(dataset) == 100
+        assert dataset.dim == 8
+
+    def test_default_ids(self):
+        dataset = VectorDataset(vectors=np.zeros((3, 2)))
+        assert dataset.ids == [0, 1, 2]
+
+    def test_id_mismatch_rejected(self):
+        with pytest.raises(VectorError):
+            VectorDataset(vectors=np.zeros((3, 2)), ids=[1])
+
+    def test_query_set_dim(self):
+        rng = np.random.default_rng(0)
+        dataset = generate_clustered_dataset(50, 6, 3, rng)
+        queries = generate_query_set(dataset, 7, rng)
+        assert queries.shape == (7, 6)
+
+
+class TestKMeans:
+    def test_separated_clusters_recovered(self):
+        rng = np.random.default_rng(1)
+        a = rng.normal(0, 0.05, size=(40, 2))
+        b = rng.normal(5, 0.05, size=(40, 2)) + np.array([5.0, 0.0])
+        data = np.vstack([a, b])
+        result = kmeans(data, 2, rng)
+        labels_a = set(result.assignments[:40])
+        labels_b = set(result.assignments[40:])
+        assert labels_a != labels_b
+        assert len(labels_a) == 1
+        assert len(labels_b) == 1
+
+    def test_k_validation(self):
+        rng = np.random.default_rng(0)
+        with pytest.raises(VectorError):
+            kmeans(np.zeros((3, 2)), 5, rng)
+        with pytest.raises(VectorError):
+            kmeans(np.zeros((3, 2)), 0, rng)
+
+    def test_inertia_decreases_with_more_clusters(self):
+        rng = np.random.default_rng(2)
+        data = rng.normal(size=(120, 4))
+        loose = kmeans(data, 2, np.random.default_rng(0)).inertia
+        tight = kmeans(data, 12, np.random.default_rng(0)).inertia
+        assert tight < loose
+
+
+class TestBruteForce:
+    def test_exact_neighbours(self):
+        data = np.array([[0.0, 0.0], [1.0, 0.0], [5.0, 5.0]])
+        index = BruteForceIndex()
+        index.build(VectorDataset(vectors=data))
+        result = index.search(np.array([0.1, 0.0]), 2)
+        assert result.ids == [0, 1]
+        assert result.guarantee_delta == 0.0
+
+    def test_threshold_empty_result(self):
+        data = np.array([[10.0, 10.0]])
+        index = BruteForceIndex(max_distance=1.0)
+        index.build(VectorDataset(vectors=data))
+        result = index.search(np.array([0.0, 0.0]), 1)
+        assert result.ids == []
+        assert result.empty_by_threshold
+
+    def test_k_clamped_to_dataset(self):
+        index = BruteForceIndex()
+        index.build(VectorDataset(vectors=np.zeros((3, 2))))
+        assert len(index.search(np.zeros(2), 10)) == 3
+
+    def test_unbuilt_raises(self):
+        with pytest.raises(IndexNotBuiltError):
+            BruteForceIndex().search(np.zeros(2), 1)
+
+    def test_invalid_k(self):
+        index = BruteForceIndex()
+        index.build(VectorDataset(vectors=np.zeros((3, 2))))
+        with pytest.raises(ValueError):
+            index.search(np.zeros(2), 0)
+
+
+def _mean_recall(index, dataset, queries, exact_results, k=10):
+    recalls = []
+    for query, exact in zip(queries, exact_results):
+        result = index.search(query, k)
+        recalls.append(recall_at_k(result.ids, exact.ids))
+    return float(np.mean(recalls))
+
+
+@pytest.fixture(scope="module")
+def search_setup(clustered_vectors):
+    dataset, queries = clustered_vectors
+    brute = BruteForceIndex()
+    brute.build(dataset)
+    exact = [brute.search(query, 10) for query in queries]
+    return dataset, queries, exact
+
+
+class TestApproximateIndexes:
+    def test_ivf_recall_reasonable(self, search_setup):
+        dataset, queries, exact = search_setup
+        index = IVFIndex(n_lists=16, n_probe=4, seed=1)
+        index.build(dataset)
+        assert _mean_recall(index, dataset, queries, exact) >= 0.8
+
+    def test_ivf_work_less_than_brute(self, search_setup):
+        dataset, queries, _exact = search_setup
+        index = IVFIndex(n_lists=16, n_probe=2, seed=1)
+        index.build(dataset)
+        result = index.search(queries[0], 10)
+        assert result.distance_computations < len(dataset)
+
+    def test_ivf_more_probes_never_lower_recall(self, search_setup):
+        dataset, queries, exact = search_setup
+        index = IVFIndex(n_lists=16, seed=1)
+        index.build(dataset)
+        few = np.mean([
+            recall_at_k(index.search_with_probes(q, 10, 1).ids, e.ids)
+            for q, e in zip(queries, exact)
+        ])
+        many = np.mean([
+            recall_at_k(index.search_with_probes(q, 10, 16).ids, e.ids)
+            for q, e in zip(queries, exact)
+        ])
+        assert many >= few
+        assert many == pytest.approx(1.0)
+
+    def test_hnsw_recall_reasonable(self, search_setup):
+        dataset, queries, exact = search_setup
+        index = HNSWIndex(m=8, ef_construction=48, ef_search=48, seed=1)
+        index.build(dataset)
+        assert _mean_recall(index, dataset, queries, exact) >= 0.9
+
+    def test_hnsw_param_validation(self):
+        with pytest.raises(VectorError):
+            HNSWIndex(m=1)
+        with pytest.raises(VectorError):
+            HNSWIndex(ef_search=0)
+
+    def test_lsh_returns_candidates(self, search_setup):
+        dataset, queries, exact = search_setup
+        index = LSHIndex(n_tables=8, n_bits=10, seed=1)
+        index.build(dataset)
+        assert _mean_recall(index, dataset, queries, exact) >= 0.5
+
+    def test_lsh_param_validation(self):
+        with pytest.raises(VectorError):
+            LSHIndex(n_tables=0)
+
+
+class TestProgressive:
+    def test_full_scan_matches_brute(self, search_setup):
+        dataset, queries, exact = search_setup
+        index = ProgressiveIndex(delta=0.01, stop_rule="hypergeometric", seed=1)
+        index.build(dataset)
+        result = index.search(queries[0], 10)
+        assert set(result.ids) == set(exact[0].ids)
+
+    def test_delta_validation(self):
+        with pytest.raises(VectorError):
+            ProgressiveIndex(delta=0.0)
+        with pytest.raises(VectorError):
+            ProgressiveIndex(stop_rule="bogus")
+
+    def test_guarantee_annotation(self, search_setup):
+        dataset, queries, _exact = search_setup
+        index = ProgressiveIndex(delta=0.2, stop_rule="rule_of_three", seed=1)
+        index.build(dataset)
+        result = index.search(queries[0], 10)
+        if result.metadata["stopped_early"]:
+            assert result.guarantee_delta == 0.2
+        else:
+            assert result.guarantee_delta == 0.0
+
+    def test_high_recall_at_any_delta(self, search_setup):
+        dataset, queries, exact = search_setup
+        index = ProgressiveIndex(delta=0.3, stop_rule="rule_of_three", seed=1)
+        index.build(dataset)
+        assert _mean_recall(index, dataset, queries, exact) >= 1.0 - 0.3
+
+    def test_prefix_containment_probability(self):
+        assert prefix_containment_probability(10, 10, 3) == 1.0
+        assert prefix_containment_probability(10, 2, 3) == 0.0
+        # C(8,2)/C(10,5) path: m=5,n=10,k=3 -> (5*4*3)/(10*9*8) = 1/12
+        assert prefix_containment_probability(10, 5, 3) == pytest.approx(1 / 12)
+
+    def test_hypergeometric_stops_late(self, search_setup):
+        # The exact guarantee is conservative: for delta=0.05 it must scan
+        # almost everything -- the paper's "guaranteed methods are slow".
+        dataset, queries, _exact = search_setup
+        index = ProgressiveIndex(delta=0.05, stop_rule="hypergeometric", seed=1)
+        index.build(dataset)
+        result = index.search(queries[0], 10)
+        assert result.distance_computations >= 0.9 * len(dataset)
+
+
+class TestLearnedStop:
+    def test_training_and_prediction(self, search_setup):
+        dataset, queries, exact = search_setup
+        rng = np.random.default_rng(3)
+        index = LearnedStopIVFIndex(n_lists=16, seed=1)
+        index.build(dataset)
+        train = generate_query_set(dataset, 40, rng)
+        index.train(train, k=10)
+        assert index.is_trained
+        probes = index.predict_probes(queries[0])
+        assert 1 <= probes <= 16
+
+    def test_recall_with_learned_probes(self, search_setup):
+        dataset, queries, exact = search_setup
+        rng = np.random.default_rng(3)
+        index = LearnedStopIVFIndex(n_lists=16, seed=1, safety_margin=1.5)
+        index.build(dataset)
+        index.train(generate_query_set(dataset, 40, rng), k=10)
+        assert _mean_recall(index, dataset, queries, exact) >= 0.85
+
+    def test_untrained_search_fails(self, search_setup):
+        dataset, _queries, _exact = search_setup
+        index = LearnedStopIVFIndex(n_lists=8, seed=1)
+        index.build(dataset)
+        with pytest.raises(IndexNotBuiltError):
+            index.predict_probes(np.zeros(dataset.dim))
+
+    def test_train_requires_enough_queries(self, search_setup):
+        dataset, _queries, _exact = search_setup
+        index = LearnedStopIVFIndex(n_lists=8, seed=1)
+        index.build(dataset)
+        with pytest.raises(VectorError):
+            index.train(np.zeros((2, dataset.dim)), k=5)
+
+    def test_probes_needed_covers_exact_topk(self, search_setup):
+        dataset, queries, exact = search_setup
+        index = LearnedStopIVFIndex(n_lists=16, seed=1)
+        index.build(dataset)
+        needed = index.probes_needed(queries[0], 10)
+        result = index.search_with_probes(queries[0], 10, needed)
+        assert recall_at_k(result.ids, exact[0].ids) == 1.0
