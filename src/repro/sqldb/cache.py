@@ -56,7 +56,7 @@ class QueryCache:
         if max_entries <= 0:
             raise CDAError("max_entries must be positive")
         self.max_entries = max_entries
-        self._entries: OrderedDict[str, tuple[tuple, object]] = OrderedDict()
+        self._entries: OrderedDict[tuple, tuple[tuple, object]] = OrderedDict()
         self.stats = CacheStats()
 
     def __len__(self) -> int:
@@ -68,9 +68,14 @@ class QueryCache:
             for name in referenced_tables(statement)
         )
 
-    def get(self, statement: ast.SelectStatement, catalog):
-        """The cached result, or None on miss / version change."""
-        key = statement.to_sql()
+    def get(self, statement: ast.SelectStatement, catalog, flags: tuple = ()):
+        """The cached result, or None on miss / version change.
+
+        ``flags`` joins the key: results computed under different capture
+        settings (lineage/how) carry different annotations and must not
+        satisfy each other's lookups.
+        """
+        key = (statement.to_sql(), flags)
         entry = self._entries.get(key)
         if entry is None:
             self.stats.misses += 1
@@ -89,9 +94,11 @@ class QueryCache:
         self.stats.hits += 1
         return result
 
-    def put(self, statement: ast.SelectStatement, catalog, result) -> None:
+    def put(
+        self, statement: ast.SelectStatement, catalog, result, flags: tuple = ()
+    ) -> None:
         """Store a result under the current table versions."""
-        key = statement.to_sql()
+        key = (statement.to_sql(), flags)
         self._entries[key] = (self._versions(statement, catalog), result)
         self._entries.move_to_end(key)
         while len(self._entries) > self.max_entries:

@@ -98,11 +98,13 @@ class Database:
         capture_lineage: bool = True,
         capture_how: bool = False,
         cache_size: int | None = None,
+        optimize: bool = True,
     ):
         self.name = name
         self.catalog = Catalog()
         self.capture_lineage = capture_lineage
         self.capture_how = capture_how
+        self.optimize = optimize
         self.stats = QueryStats()
         self.cache = None
         if cache_size is not None:
@@ -187,8 +189,11 @@ class Database:
         self, statement: ast.SelectStatement, sql: str | None = None
     ) -> QueryResult:
         """Execute an already-parsed SELECT statement (cache-aware)."""
+        # Capture flags are part of the cache key: a result computed
+        # without how-polynomials must not satisfy a lookup that needs them.
+        cache_flags = (self.capture_lineage, self.capture_how)
         if self.cache is not None:
-            cached = self.cache.get(statement, self.catalog)
+            cached = self.cache.get(statement, self.catalog, flags=cache_flags)
             if cached is not None:
                 self.stats.queries_executed += 1
                 return _copy_result(cached)
@@ -196,6 +201,7 @@ class Database:
             self.catalog,
             capture_lineage=self.capture_lineage,
             capture_how=self.capture_how,
+            optimize=self.optimize,
         )
         started = time.perf_counter()
         result = executor.execute(statement)
@@ -218,7 +224,9 @@ class Database:
             # received (or be tampered with), and verification relies on
             # re-execution producing the *computed* answer, not whatever
             # the caller's object now holds.
-            self.cache.put(statement, self.catalog, _copy_result(query_result))
+            self.cache.put(
+                statement, self.catalog, _copy_result(query_result), flags=cache_flags
+            )
         return query_result
 
     def fetch_source_row(self, table_name: str, row_id: int) -> dict[str, SQLValue]:

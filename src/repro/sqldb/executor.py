@@ -14,11 +14,22 @@ limit.  Each intermediate row carries
 Capturing lineage is what lets the explainability layer (P3) produce
 lossless, invertible explanations, and the soundness layer (P4) re-derive
 answers from their cited sources.
+
+With ``optimize=True`` (the default) the executor runs the plan produced
+by :mod:`repro.sqldb.planner` — predicates pushed below joins, composite
+hash keys for INNER and LEFT joins — and evaluates every expression
+through :mod:`repro.sqldb.compile` closures instead of the per-row AST
+interpreter.  Scan provenance (singleton lineage sets and how-variables)
+is interned per table version so repeated queries share it.  Results,
+lineage, and how-polynomials are identical either way; ``optimize=False``
+preserves the original operator-at-a-time behaviour for A/B measurement
+(benchmark E13).
 """
 
 from __future__ import annotations
 
 import functools
+import itertools
 from dataclasses import dataclass
 
 from repro.errors import ExecutionError
@@ -26,18 +37,76 @@ from repro.provenance.semiring import Polynomial, row_variable
 from repro.sqldb import ast
 from repro.sqldb.aggregates import make_aggregator
 from repro.sqldb.catalog import Catalog
+from repro.sqldb.compile import CompiledExpression, compile_expression
 from repro.sqldb.expressions import (
     BoundColumn,
     ExpressionEvaluator,
     RowContext,
     RowLayout,
 )
+from repro.sqldb.planner import JoinPlan, SelectPlan, plan_select, split_conjuncts
+from repro.sqldb.table import Table
 from repro.sqldb.types import SQLValue
 
 #: A where-lineage set: base rows as (table_name, row_id) pairs.
 Lineage = frozenset[tuple[str, int]]
 
 EMPTY_LINEAGE: Lineage = frozenset()
+
+def _scan_provenance(
+    table: Table, want_how: bool
+) -> tuple[list[Lineage], list[Polynomial] | None]:
+    """Shared singleton lineage sets (and how-variables) for every live row.
+
+    Interned on the table instance itself (version-checked so any
+    mutation invalidates); row order matches :meth:`Table.rows_with_ids`.
+    """
+    entry: tuple[int, list[Lineage], list[Polynomial] | None] | None = getattr(
+        table, "_scan_provenance", None
+    )
+    if entry is not None and entry[0] == table.version:
+        _version, lineages, hows = entry
+        if not want_how or hows is not None:
+            return lineages, hows
+    name = table.name
+    lineages = [frozenset({(name, row_id)}) for row_id, _values in table.rows_with_ids()]
+    hows = (
+        [
+            Polynomial.var(row_variable(name, row_id))
+            for row_id, _values in table.rows_with_ids()
+        ]
+        if want_how
+        else None
+    )
+    object.__setattr__(table, "_scan_provenance", (table.version, lineages, hows))
+    return lineages, hows
+
+
+def _all_true(fns) -> "CompiledExpression":
+    """Fuse conjunct closures into one all-exactly-TRUE test.
+
+    Unrolled for the common small arities — a per-row generator
+    expression would cost more than the conjuncts themselves.
+    """
+    if len(fns) == 1:
+        f0 = fns[0]
+        return lambda values: f0(values) is True
+    if len(fns) == 2:
+        f0, f1 = fns
+        return lambda values: f0(values) is True and f1(values) is True
+    if len(fns) == 3:
+        f0, f1, f2 = fns
+        return lambda values: (
+            f0(values) is True and f1(values) is True and f2(values) is True
+        )
+
+    def fn(values):
+        for conjunct_fn in fns:
+            if conjunct_fn(values) is not True:
+                return False
+        return True
+
+    return fn
 
 
 @dataclass
@@ -73,7 +142,10 @@ class SelectExecutor:
 
     ``capture_lineage`` controls where-provenance (cheap set unions);
     ``capture_how`` additionally maintains N[X] polynomials (costlier —
-    benchmark E5 quantifies the overhead).
+    benchmark E5 quantifies the overhead).  ``optimize`` switches between
+    the planned/compiled path and the legacy interpreted path (benchmark
+    E13 quantifies the difference); both produce identical results and
+    provenance.
     """
 
     def __init__(
@@ -81,11 +153,15 @@ class SelectExecutor:
         catalog: Catalog,
         capture_lineage: bool = True,
         capture_how: bool = False,
+        optimize: bool = True,
     ):
         self._catalog = catalog
         self._capture_lineage = capture_lineage
         self._capture_how = capture_how
+        self._optimize = optimize
         self._scanned_rows = 0
+        #: Shared per-query memo for uncorrelated subqueries (compiled path).
+        self._subquery_cache: dict[str, list[tuple]] = {}
 
     # -- public entry point ------------------------------------------------------
 
@@ -137,7 +213,10 @@ class SelectExecutor:
         """Execute an uncorrelated subquery; lineage is not propagated
         (the subquery acts as a computed constant for the outer query)."""
         nested = SelectExecutor(
-            self._catalog, capture_lineage=False, capture_how=False
+            self._catalog,
+            capture_lineage=False,
+            capture_how=False,
+            optimize=self._optimize,
         )
         result = nested.execute(statement)
         self._scanned_rows += result.scanned_rows
@@ -150,11 +229,66 @@ class SelectExecutor:
             aggregate_slots, subquery_runner=self._run_subquery
         )
 
+    # -- expression compilation ----------------------------------------------------
+
+    def _compile_values(
+        self,
+        expressions: list[ast.Expression],
+        layout: RowLayout,
+        aggregate_slots: dict[str, int] | None = None,
+    ) -> list[CompiledExpression]:
+        """Per-row callables for ``expressions`` over ``layout`` tuples.
+
+        Compiled closures on the optimized path; thin wrappers around a
+        shared :class:`ExpressionEvaluator` on the legacy path, so the
+        legacy per-row cost stays what it always was.
+        """
+        if self._optimize:
+            return [
+                compile_expression(
+                    expression,
+                    layout,
+                    aggregate_slots=aggregate_slots,
+                    subquery_runner=self._run_subquery,
+                    subquery_cache=self._subquery_cache,
+                )
+                for expression in expressions
+            ]
+        evaluator = self._evaluator(aggregate_slots)
+        wrappers: list[CompiledExpression] = []
+        for expression in expressions:
+
+            def wrapper(
+                values,
+                _expression=expression,
+                _evaluator=evaluator,
+                _layout=layout,
+            ):
+                return _evaluator.evaluate(_expression, RowContext(_layout, values))
+
+            wrappers.append(wrapper)
+        return wrappers
+
+    def _compile_one(
+        self,
+        expression: ast.Expression,
+        layout: RowLayout,
+        aggregate_slots: dict[str, int] | None = None,
+    ) -> CompiledExpression:
+        return self._compile_values([expression], layout, aggregate_slots)[0]
+
     def _execute_single(self, statement: ast.SelectStatement) -> SelectResult:
         self._scanned_rows = 0
-        relation = self._build_from(statement)
-        if statement.where is not None:
-            relation = self._filter(relation, statement.where)
+        self._subquery_cache = {}
+        if self._optimize:
+            plan = plan_select(statement, self._catalog)
+            relation = self._build_from_plan(plan)
+            residual_where = plan.where
+        else:
+            relation = self._build_from(statement)
+            residual_where = statement.where
+        if residual_where is not None:
+            relation = self._filter(relation, residual_where)
         aggregates = self._collect_aggregates(statement)
         if statement.group_by or aggregates:
             relation, aggregate_slots = self._group(relation, statement, aggregates)
@@ -163,8 +297,7 @@ class SelectExecutor:
         if statement.having is not None:
             if not statement.group_by and not aggregates:
                 raise ExecutionError("HAVING requires GROUP BY or aggregates")
-            evaluator = self._evaluator(aggregate_slots)
-            relation = self._filter(relation, statement.having, evaluator)
+            relation = self._filter(relation, statement.having, aggregate_slots)
         columns, projected = self._project(relation, statement, aggregate_slots)
         if statement.distinct:
             projected = self._distinct(projected)
@@ -214,10 +347,7 @@ class SelectExecutor:
             lineage = frozenset(combined)
         how = None
         if self._capture_how:
-            how = Polynomial.zero()
-            for row in rows:
-                assert row.how is not None
-                how = how + row.how
+            how = Polynomial.sum_all(row.how for row in rows)
         return lineage, how
 
     # -- FROM / JOIN -------------------------------------------------------------
@@ -240,13 +370,68 @@ class SelectExecutor:
                 raise ExecutionError(f"unsupported join kind {join.kind!r}")
         return relation
 
-    def _scan(self, table_ref: ast.TableRef) -> Relation:
+    def _build_from_plan(self, plan: SelectPlan) -> Relation:
+        """FROM/JOIN evaluation driven by the logical plan."""
+        if plan.base is None:
+            layout = RowLayout([])
+            one = Polynomial.one() if self._capture_how else None
+            return Relation(layout, [ExecRow((), EMPTY_LINEAGE, one)])
+        relation = self._scan(plan.base.table, plan.base.predicate)
+        for join_plan in plan.joins:
+            right = self._scan(join_plan.scan.table, join_plan.scan.predicate)
+            if join_plan.kind == "CROSS":
+                relation = self._cross_join(relation, right)
+            elif join_plan.kind in ("INNER", "LEFT"):
+                relation = self._planned_join(relation, right, join_plan)
+            else:
+                raise ExecutionError(f"unsupported join kind {join_plan.kind!r}")
+        return relation
+
+    def _scan(
+        self, table_ref: ast.TableRef, predicate: ast.Expression | None = None
+    ) -> Relation:
         table = self._catalog.table(table_ref.name)
         binding = table_ref.binding
         layout = RowLayout(
             [BoundColumn(binding=binding, name=column.name) for column in table.schema]
         )
         rows: list[ExecRow] = []
+        if self._optimize:
+            # Interned scan provenance: the singleton lineage set (and the
+            # how-variable) of a base row never changes while the table
+            # version holds, so every query shares one object per row.
+            lineages, hows = (
+                _scan_provenance(table, self._capture_how)
+                if self._capture_lineage or self._capture_how
+                else (None, None)
+            )
+            # Pushed conjuncts are evaluated as independent closures — a
+            # row survives only if every one is exactly TRUE, which is the
+            # same row set as the conjoined 3VL predicate (WHERE keeps
+            # only TRUE rows; see the planner's error-order note).
+            keep = (
+                _all_true(
+                    self._compile_values(split_conjuncts(predicate), layout)
+                )
+                if predicate is not None
+                else None
+            )
+            if lineages is None or not self._capture_lineage:
+                lineages = itertools.repeat(EMPTY_LINEAGE)
+            if hows is None or not self._capture_how:
+                hows = itertools.repeat(None)
+            append = rows.append
+            scanned = 0
+            for (_row_id, values), lineage, how in zip(
+                table.rows_with_ids(), lineages, hows
+            ):
+                scanned += 1
+                if keep is not None and not keep(values):
+                    continue
+                append(ExecRow(values, lineage, how))
+            self._scanned_rows += scanned
+            return Relation(layout, rows)
+        assert predicate is None  # pushdown exists only on the planned path
         for row_id, values in table.rows_with_ids():
             lineage, how = self._base_row(table.name, row_id)
             rows.append(ExecRow(values, lineage, how))
@@ -264,32 +449,112 @@ class SelectExecutor:
                 )
         return Relation(layout, rows)
 
+    def _planned_join(
+        self, left: Relation, right: Relation, join_plan: JoinPlan
+    ) -> Relation:
+        """INNER/LEFT join via composite hash keys plus a residual filter."""
+        layout = left.layout.concat(right.layout)
+        residual_fn = (
+            self._compile_one(join_plan.residual, layout)
+            if join_plan.residual is not None
+            else None
+        )
+        is_left = join_plan.kind == "LEFT"
+        null_right = (None,) * len(right.layout)
+        rows: list[ExecRow] = []
+        if not join_plan.is_hash_join:
+            # No equi component: nested loop with the compiled condition.
+            assert residual_fn is not None
+            for left_row in left.rows:
+                matched = False
+                for right_row in right.rows:
+                    values = left_row.values + right_row.values
+                    if residual_fn(values) is True:
+                        lineage, how = self._merge_join(left_row, right_row)
+                        rows.append(ExecRow(values, lineage, how))
+                        matched = True
+                if is_left and not matched:
+                    rows.append(
+                        ExecRow(
+                            left_row.values + null_right,
+                            left_row.lineage,
+                            left_row.how,
+                        )
+                    )
+            return Relation(layout, rows)
+        left_positions = [
+            left.layout.resolve(ref.name, ref.table) for ref in join_plan.left_keys
+        ]
+        right_positions = [
+            right.layout.resolve(ref.name, ref.table) for ref in join_plan.right_keys
+        ]
+        if not left.rows or (not right.rows and not is_left):
+            return Relation(layout, rows)
+        buckets: dict[tuple, list[ExecRow]] = {}
+        for right_row in right.rows:
+            key = tuple(right_row.values[position] for position in right_positions)
+            if None in key:
+                continue  # NULL never equi-matches
+            bucket = buckets.get(key)
+            if bucket is None:
+                buckets[key] = [right_row]
+            else:
+                bucket.append(right_row)
+        for left_row in left.rows:
+            key = tuple(left_row.values[position] for position in left_positions)
+            matched = False
+            bucket = buckets.get(key) if None not in key else None
+            if bucket is not None:
+                for right_row in bucket:
+                    values = left_row.values + right_row.values
+                    if residual_fn is not None and residual_fn(values) is not True:
+                        continue
+                    lineage, how = self._merge_join(left_row, right_row)
+                    rows.append(ExecRow(values, lineage, how))
+                    matched = True
+            if is_left and not matched:
+                rows.append(
+                    ExecRow(
+                        left_row.values + null_right, left_row.lineage, left_row.how
+                    )
+                )
+        return Relation(layout, rows)
+
     def _inner_join(
         self, left: Relation, right: Relation, condition: ast.Expression | None
     ) -> Relation:
         assert condition is not None
         layout = left.layout.concat(right.layout)
-        evaluator = self._evaluator()
         equi = self._equi_join_key(condition, left.layout, right.layout)
         rows: list[ExecRow] = []
         if equi is not None:
+            if not left.rows or not right.rows:
+                return Relation(layout, rows)
             left_index, right_index = equi
             buckets: dict[SQLValue, list[ExecRow]] = {}
             for right_row in right.rows:
                 key = right_row.values[right_index]
                 if key is None:
                     continue
-                buckets.setdefault(key, []).append(right_row)
+                bucket = buckets.get(key)
+                if bucket is None:
+                    buckets[key] = [right_row]
+                else:
+                    bucket.append(right_row)
             for left_row in left.rows:
                 key = left_row.values[left_index]
                 if key is None:
                     continue
-                for right_row in buckets.get(key, []):
+                bucket = buckets.get(key)
+                if bucket is None:
+                    continue
+                for right_row in bucket:
                     lineage, how = self._merge_join(left_row, right_row)
                     rows.append(
                         ExecRow(left_row.values + right_row.values, lineage, how)
                     )
             return Relation(layout, rows)
+        evaluator = self._evaluator()
         for left_row in left.rows:
             for right_row in right.rows:
                 values = left_row.values + right_row.values
@@ -304,9 +569,42 @@ class SelectExecutor:
     ) -> Relation:
         assert condition is not None
         layout = left.layout.concat(right.layout)
-        evaluator = self._evaluator()
         null_right = (None,) * len(right.layout)
         rows: list[ExecRow] = []
+        equi = self._equi_join_key(condition, left.layout, right.layout)
+        if equi is not None:
+            # Hash path with NULL padding for unmatched left rows — the
+            # nested loop here was O(n·m) even for plain key equality.
+            left_index, right_index = equi
+            buckets: dict[SQLValue, list[ExecRow]] = {}
+            for right_row in right.rows:
+                key = right_row.values[right_index]
+                if key is None:
+                    continue
+                bucket = buckets.get(key)
+                if bucket is None:
+                    buckets[key] = [right_row]
+                else:
+                    bucket.append(right_row)
+            for left_row in left.rows:
+                key = left_row.values[left_index]
+                bucket = buckets.get(key) if key is not None else None
+                if bucket is None:
+                    rows.append(
+                        ExecRow(
+                            left_row.values + null_right,
+                            left_row.lineage,
+                            left_row.how,
+                        )
+                    )
+                    continue
+                for right_row in bucket:
+                    lineage, how = self._merge_join(left_row, right_row)
+                    rows.append(
+                        ExecRow(left_row.values + right_row.values, lineage, how)
+                    )
+            return Relation(layout, rows)
+        evaluator = self._evaluator()
         for left_row in left.rows:
             matched = False
             for right_row in right.rows:
@@ -357,14 +655,20 @@ class SelectExecutor:
         self,
         relation: Relation,
         predicate: ast.Expression,
-        evaluator: ExpressionEvaluator | None = None,
+        aggregate_slots: dict[str, int] | None = None,
     ) -> Relation:
-        evaluator = evaluator or self._evaluator()
-        kept = []
-        for row in relation.rows:
-            context = RowContext(relation.layout, row.values)
-            if evaluator.evaluate(predicate, context) is True:
-                kept.append(row)
+        if self._optimize:
+            # Independent closures per conjunct (same survivors as the
+            # conjoined 3VL tree — WHERE/HAVING keep only TRUE rows).
+            keep = _all_true(
+                self._compile_values(
+                    split_conjuncts(predicate), relation.layout, aggregate_slots
+                )
+            )
+            kept = [row for row in relation.rows if keep(row.values)]
+            return Relation(relation.layout, kept)
+        predicate_fn = self._compile_one(predicate, relation.layout, aggregate_slots)
+        kept = [row for row in relation.rows if predicate_fn(row.values) is True]
         return Relation(relation.layout, kept)
 
     # -- GROUP BY / aggregates -------------------------------------------------------
@@ -399,15 +703,17 @@ class SelectExecutor:
             _validate_grouped(
                 order_item.expression, group_sqls, allow_bare_column=True
             )
-        evaluator = self._evaluator()
+        key_fns = self._compile_values(list(statement.group_by), relation.layout)
+        argument_fns: list[CompiledExpression | None] = [
+            None
+            if isinstance(aggregate.argument, ast.Star)
+            else self._compile_one(aggregate.argument, relation.layout)
+            for aggregate in aggregates
+        ]
         groups: dict[tuple, list[ExecRow]] = {}
         order: list[tuple] = []
         for row in relation.rows:
-            context = RowContext(relation.layout, row.values)
-            key = tuple(
-                _hashable(evaluator.evaluate(expr, context))
-                for expr in statement.group_by
-            )
+            key = tuple(key_fn(row.values) for key_fn in key_fns)
             if key not in groups:
                 groups[key] = []
                 order.append(key)
@@ -439,14 +745,11 @@ class SelectExecutor:
                 for aggregate in aggregates
             ]
             for member in members:
-                context = RowContext(relation.layout, member.values)
-                for aggregate, accumulator in zip(aggregates, accumulators):
-                    if isinstance(aggregate.argument, ast.Star):
+                for argument_fn, accumulator in zip(argument_fns, accumulators):
+                    if argument_fn is None:
                         accumulator.step(1)
                     else:
-                        accumulator.step(
-                            evaluator.evaluate(aggregate.argument, context)
-                        )
+                        accumulator.step(argument_fn(member.values))
             aggregate_values = tuple(
                 accumulator.finalize() for accumulator in accumulators
             )
@@ -500,13 +803,12 @@ class SelectExecutor:
     ) -> tuple[list[str], list[tuple[ExecRow, ExecRow]]]:
         items = self._expand_items(statement, relation.layout)
         columns = [item.output_name(position) for position, item in enumerate(items)]
-        evaluator = self._evaluator(aggregate_slots)
+        item_fns = self._compile_values(
+            [item.expression for item in items], relation.layout, aggregate_slots
+        )
         projected: list[tuple[ExecRow, ExecRow]] = []
         for row in relation.rows:
-            context = RowContext(relation.layout, row.values)
-            values = tuple(
-                evaluator.evaluate(item.expression, context) for item in items
-            )
+            values = tuple(item_fn(row.values) for item_fn in item_fns)
             projected.append((row, ExecRow(values, row.lineage, row.how)))
         return columns, projected
 
@@ -539,23 +841,37 @@ class SelectExecutor:
         columns: list[str],
         aggregate_slots: dict[str, int],
     ) -> list[tuple[ExecRow, ExecRow]]:
-        evaluator = self._evaluator(aggregate_slots)
         column_positions = {name.lower(): index for index, name in enumerate(columns)}
+        #: Per ORDER BY key: ("out", output position) for bare output
+        #: columns, ("pre", compiled expr) evaluated over the
+        #: pre-projection row otherwise.
+        extractors: list[tuple[str, object]] = []
+        for order_item in statement.order_by:
+            expression = order_item.expression
+            if (
+                isinstance(expression, ast.ColumnRef)
+                and expression.table is None
+                and expression.name.lower() in column_positions
+            ):
+                extractors.append(("out", column_positions[expression.name.lower()]))
+            else:
+                extractors.append(
+                    (
+                        "pre",
+                        self._compile_one(
+                            expression, relation.layout, aggregate_slots
+                        ),
+                    )
+                )
 
         def sort_keys(pair: tuple[ExecRow, ExecRow]) -> list[SQLValue]:
             pre, out = pair
             keys: list[SQLValue] = []
-            for order_item in statement.order_by:
-                expression = order_item.expression
-                if (
-                    isinstance(expression, ast.ColumnRef)
-                    and expression.table is None
-                    and expression.name.lower() in column_positions
-                ):
-                    keys.append(out.values[column_positions[expression.name.lower()]])
+            for kind, extractor in extractors:
+                if kind == "out":
+                    keys.append(out.values[extractor])
                 else:
-                    context = RowContext(relation.layout, pre.values)
-                    keys.append(evaluator.evaluate(expression, context))
+                    keys.append(extractor(pre.values))
             return keys
 
         decorated = [(sort_keys(pair), pair) for pair in projected]
