@@ -125,6 +125,19 @@ class CDAEngine:
             answer = self._handle_data_query(text, turn_id, llm_gold_sql)
         return answer
 
+    def discover(self, texts: list[str], k: int = 3) -> list[list]:
+        """Batched dataset discovery for many topical requests at once.
+
+        The batched retrieval hot path (P1 Efficiency): all requests are
+        expanded, embedded, and ranked together, sharing kernel launches
+        across the batch — the path a high-traffic deployment uses to
+        amortise retrieval over concurrent discovery turns.  Unlike
+        :meth:`ask`, this is side-effect free: no session turns are
+        recorded and no clarification is opened.  Each element ranks the
+        same as the corresponding single-query discovery turn.
+        """
+        return self.search_engine.search_batch(texts, k)
+
     # ------------------------------------------------------------------------------
     # clarification replies
     # ------------------------------------------------------------------------------

@@ -64,13 +64,31 @@ class DatasetSearchEngine:
 
     def search(self, query: str, k: int = 5) -> list[DatasetHit]:
         """Top-k fresh data sources for a topical request."""
-        expanded = self._expand_query(query)
+        return self.search_batch([query], k)[0]
+
+    def search_batch(self, queries: list[str], k: int = 5) -> list[list[DatasetHit]]:
+        """Discovery for a batch of topical requests.
+
+        This is the batched retrieval hot path end to end: queries are
+        expanded, embedded and ranked together (one kernel launch per
+        stage on the dense side, one postings materialisation on the
+        lexical side), then filtered per query.  The single-query
+        :meth:`search` is a one-row batch, so both paths rank
+        identically.
+        """
+        if not queries:
+            return []
+        expanded = [self._expand_query(query) for query in queries]
         if self.mode == "lexical":
-            raw_hits = self._retriever.search_lexical(expanded, k * 2)
+            raw_rankings = self._retriever.search_lexical_batch(expanded, k * 2)
         elif self.mode == "dense":
-            raw_hits = self._retriever.search_dense(expanded, k * 2)
+            raw_rankings = self._retriever.search_dense_batch(expanded, k * 2)
         else:
-            raw_hits = self._retriever.search(expanded, k * 2)
+            raw_rankings = self._retriever.search_batch(expanded, k * 2)
+        return [self._filter_hits(raw_hits, k) for raw_hits in raw_rankings]
+
+    def _filter_hits(self, raw_hits, k: int) -> list[DatasetHit]:
+        """Keep registered, fresh sources — discovery never proposes rot."""
         results: list[DatasetHit] = []
         for hit in raw_hits:
             if hit.doc_id not in self.registry:

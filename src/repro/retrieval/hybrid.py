@@ -87,42 +87,82 @@ class HybridRetriever:
             for rank, hit in enumerate(self.bm25.search(query, k), start=1)
         ]
 
+    def search_lexical_batch(
+        self, queries: list[str], k: int = 10
+    ) -> list[list[RetrievalHit]]:
+        """BM25-only rankings for several queries."""
+        self._require_built()
+        return [
+            [
+                RetrievalHit(doc_id=hit.doc_id, score=hit.score, lexical_rank=rank)
+                for rank, hit in enumerate(ranking, start=1)
+            ]
+            for ranking in self.bm25.search_batch(queries, k)
+        ]
+
     def search_dense(self, query: str, k: int = 10) -> list[RetrievalHit]:
         """Dense-only ranking (cosine over hashing embeddings)."""
+        return self.search_dense_batch([query], k)[0]
+
+    def search_dense_batch(
+        self, queries: list[str], k: int = 10
+    ) -> list[list[RetrievalHit]]:
+        """Dense-only rankings: one batched embed and one batched search."""
         self._require_built()
         if self._dense is None or not self._dense.is_built:
-            return []
-        result = self._dense.search(self.embedder.embed(query), k)
+            return [[] for _query in queries]
+        embeddings = self.embedder.embed_batch(queries)
+        results = self._dense.search_batch(embeddings, k)
         return [
-            RetrievalHit(doc_id=doc_id, score=-distance, dense_rank=rank)
-            for rank, (doc_id, distance) in enumerate(
-                zip(result.ids, result.distances), start=1
-            )
+            [
+                RetrievalHit(doc_id=doc_id, score=-distance, dense_rank=rank)
+                for rank, (doc_id, distance) in enumerate(
+                    zip(result.ids, result.distances), start=1
+                )
+            ]
+            for result in results
         ]
 
     # -- fused access ------------------------------------------------------------------
 
     def search(self, query: str, k: int = 10) -> list[RetrievalHit]:
         """Hybrid RRF ranking."""
+        return self.search_batch([query], k)[0]
+
+    def search_batch(
+        self, queries: list[str], k: int = 10
+    ) -> list[list[RetrievalHit]]:
+        """Hybrid RRF rankings for a batch of queries.
+
+        The dense side embeds and searches the whole batch with single
+        kernel launches; the lexical side shares one materialised posting
+        array build.  Per-query fusion is unchanged, so each row equals
+        the single-query :meth:`search` result.
+        """
         self._require_built()
         pool = max(k * 3, 10)
-        lexical = self.search_lexical(query, pool)
-        dense = self.search_dense(query, pool)
-        fused = reciprocal_rank_fusion(
-            [[hit.doc_id for hit in lexical], [hit.doc_id for hit in dense]],
-            k=self.rrf_k,
-        )
-        lexical_ranks = {hit.doc_id: hit.lexical_rank for hit in lexical}
-        dense_ranks = {hit.doc_id: hit.dense_rank for hit in dense}
-        return [
-            RetrievalHit(
-                doc_id=doc_id,
-                score=score,
-                lexical_rank=lexical_ranks.get(doc_id),
-                dense_rank=dense_ranks.get(doc_id),
+        lexical_rankings = self.search_lexical_batch(queries, pool)
+        dense_rankings = self.search_dense_batch(queries, pool)
+        fused_rankings = []
+        for lexical, dense in zip(lexical_rankings, dense_rankings):
+            fused = reciprocal_rank_fusion(
+                [[hit.doc_id for hit in lexical], [hit.doc_id for hit in dense]],
+                k=self.rrf_k,
             )
-            for doc_id, score in fused[:k]
-        ]
+            lexical_ranks = {hit.doc_id: hit.lexical_rank for hit in lexical}
+            dense_ranks = {hit.doc_id: hit.dense_rank for hit in dense}
+            fused_rankings.append(
+                [
+                    RetrievalHit(
+                        doc_id=doc_id,
+                        score=score,
+                        lexical_rank=lexical_ranks.get(doc_id),
+                        dense_rank=dense_ranks.get(doc_id),
+                    )
+                    for doc_id, score in fused[:k]
+                ]
+            )
+        return fused_rankings
 
     def _require_built(self) -> None:
         if not self._built:

@@ -25,7 +25,14 @@ machine-independent work/recall curves.
 
 from repro.vector.base import SearchResult, VectorIndex
 from repro.vector.dataset import VectorDataset, generate_clustered_dataset
-from repro.vector.distance import Metric, pairwise_distances
+from repro.vector.distance import (
+    Metric,
+    pairwise_distances,
+    pairwise_distances_batch,
+    rowwise_distances,
+    squared_norms,
+    stable_top_k,
+)
 from repro.vector.embedding import HashingEmbedder
 from repro.vector.brute import BruteForceIndex
 from repro.vector.ivf import IVFIndex
@@ -41,6 +48,10 @@ __all__ = [
     "generate_clustered_dataset",
     "Metric",
     "pairwise_distances",
+    "pairwise_distances_batch",
+    "rowwise_distances",
+    "squared_norms",
+    "stable_top_k",
     "HashingEmbedder",
     "BruteForceIndex",
     "IVFIndex",

@@ -15,7 +15,7 @@ import numpy as np
 
 from repro.errors import DimensionMismatchError, IndexNotBuiltError
 from repro.vector.dataset import VectorDataset
-from repro.vector.distance import Metric
+from repro.vector.distance import Metric, stable_top_k
 
 
 @dataclass
@@ -86,6 +86,32 @@ class VectorIndex:
     def _search(self, query: np.ndarray, k: int) -> SearchResult:
         raise NotImplementedError
 
+    def search_batch(self, queries: np.ndarray, k: int) -> list[SearchResult]:
+        """Answer many queries at once; ``queries`` rows are query vectors.
+
+        Returns one :class:`SearchResult` per row, each *identical* (ids,
+        distances, tie-breaks, and work counters) to what :meth:`search`
+        returns for that row alone.  Vectorised subclasses override
+        :meth:`_search_batch` to share kernel launches across the batch;
+        the default falls back to a sequential loop.
+        """
+        dataset = self.dataset
+        queries = np.asarray(queries, dtype=np.float64)
+        if queries.ndim != 2 or queries.shape[1] != dataset.dim:
+            raise DimensionMismatchError(
+                f"queries shape {queries.shape} does not match dataset dim "
+                f"{dataset.dim}"
+            )
+        if k <= 0:
+            raise ValueError("k must be positive")
+        k = min(k, len(dataset))
+        if len(queries) == 0:
+            return []
+        return self._search_batch(queries, k)
+
+    def _search_batch(self, queries: np.ndarray, k: int) -> list[SearchResult]:
+        return [self._search(query, k) for query in queries]
+
     # -- shared helpers --------------------------------------------------------
 
     def _result_from_positions(
@@ -104,6 +130,33 @@ class VectorIndex:
         ids = [self.dataset.ids[int(position)] for position in top_positions]
         return SearchResult(
             ids=ids,
+            distances=[float(distance) for distance in top_distances],
+            distance_computations=distance_computations,
+            candidates_visited=(
+                candidates_visited
+                if candidates_visited is not None
+                else len(positions)
+            ),
+            metadata=metadata,
+        )
+
+    def _result_from_candidates(
+        self,
+        positions: np.ndarray,
+        distances: np.ndarray,
+        k: int,
+        distance_computations: int,
+        candidates_visited: int | None = None,
+        **metadata,
+    ) -> SearchResult:
+        """Batch-path variant of :meth:`_result_from_positions`: selects the
+        top-k with ``argpartition`` instead of a full sort, with identical
+        ranking and tie-breaks (ties broken by candidate position)."""
+        order = stable_top_k(distances, k)
+        top_positions = positions[order]
+        top_distances = distances[order]
+        return SearchResult(
+            ids=[self.dataset.ids[int(position)] for position in top_positions],
             distances=[float(distance) for distance in top_distances],
             distance_computations=distance_computations,
             candidates_visited=(

@@ -36,6 +36,11 @@ def tokenize_text(text: str) -> list[str]:
     return _TOKEN_PATTERN.findall(text.lower())
 
 
+#: Upper bound on memoised feature hashes per embedder; beyond it, new
+#: features are hashed without being cached (correct, just not memoised).
+_FEATURE_CACHE_LIMIT = 1 << 20
+
+
 class HashingEmbedder:
     """Feature-hashing embedder over words + character trigrams."""
 
@@ -45,6 +50,22 @@ class HashingEmbedder:
         self.dim = dim
         self.char_ngrams = char_ngrams
         self.normalise = normalise
+        # feature -> (bucket, sign): blake2b is the embedding hot path, and
+        # corpora repeat features heavily, so each distinct feature is
+        # hashed exactly once per embedder.
+        self._feature_cache: dict[str, tuple[int, float]] = {}
+
+    def _hash_feature(self, feature: str) -> tuple[int, float]:
+        cached = self._feature_cache.get(feature)
+        if cached is None:
+            bucket_hash = _stable_hash(feature)
+            cached = (
+                bucket_hash % self.dim,
+                1.0 if (bucket_hash >> 62) & 1 else -1.0,
+            )
+            if len(self._feature_cache) < _FEATURE_CACHE_LIMIT:
+                self._feature_cache[feature] = cached
+        return cached
 
     def _features(self, text: str) -> list[str]:
         tokens = tokenize_text(text)
@@ -60,23 +81,40 @@ class HashingEmbedder:
 
     def embed(self, text: str) -> np.ndarray:
         """Embed one string into a ``dim``-dimensional vector."""
-        vector = np.zeros(self.dim, dtype=np.float64)
-        for feature in self._features(text):
-            bucket_hash = _stable_hash(feature)
-            index = bucket_hash % self.dim
-            sign = 1.0 if (bucket_hash >> 62) & 1 else -1.0
-            vector[index] += sign
-        if self.normalise:
-            norm = float(np.linalg.norm(vector))
-            if norm > 0:
-                vector /= norm
-        return vector
+        return self.embed_batch([text])[0]
 
     def embed_batch(self, texts: list[str]) -> np.ndarray:
-        """Embed a list of strings into a matrix (rows align with inputs)."""
+        """Embed a list of strings into a matrix (rows align with inputs).
+
+        The batched hot path: features are hashed once (memoised across
+        calls), scatter-added into the ``(batch, dim)`` matrix with one
+        ``np.add.at``, and rows are normalised with one einsum.  Rows are
+        identical to single :meth:`embed` calls — bucket contributions are
+        exact ±1 sums, so accumulation order cannot change them.
+        """
+        matrix = np.zeros((len(texts), self.dim), dtype=np.float64)
         if not texts:
-            return np.zeros((0, self.dim), dtype=np.float64)
-        return np.stack([self.embed(text) for text in texts])
+            return matrix
+        rows: list[int] = []
+        columns: list[int] = []
+        signs: list[float] = []
+        for row, text in enumerate(texts):
+            for feature in self._features(text):
+                index, sign = self._hash_feature(feature)
+                rows.append(row)
+                columns.append(index)
+                signs.append(sign)
+        if rows:
+            np.add.at(
+                matrix,
+                (np.asarray(rows, dtype=np.intp), np.asarray(columns, dtype=np.intp)),
+                np.asarray(signs, dtype=np.float64),
+            )
+        if self.normalise:
+            norms = np.sqrt(np.einsum("bd,bd->b", matrix, matrix))
+            nonzero = norms > 0
+            matrix[nonzero] /= norms[nonzero, None]
+        return matrix
 
     def similarity(self, text_a: str, text_b: str) -> float:
         """Cosine similarity between two strings' embeddings."""

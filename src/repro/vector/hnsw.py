@@ -5,6 +5,15 @@ Small World graph: exponentially-distributed layer assignment, greedy
 descent through upper layers, beam search (``ef``) at the base layer.
 Fast with high recall, but — as the paper stresses — with *no* quality
 guarantee: benchmark E1 contrasts it with the progressive index.
+
+Two execution modes share one traversal order: the default *vectorised*
+mode scores every unvisited neighbour of a frontier node with a single
+:func:`pairwise_distances` call; the *scalar* mode (``vectorized=False``)
+is the original per-edge ``single_distance`` loop, kept as the parity and
+benchmark baseline.  Both modes make identical heap operations in the
+same order and charge ``_distance_counter`` once per vector scored, so
+results and work counters are identical — asserted by the parity suite
+and measured by benchmark E14.
 """
 
 from __future__ import annotations
@@ -17,7 +26,7 @@ import numpy as np
 from repro.errors import VectorError
 from repro.vector.base import SearchResult, VectorIndex
 from repro.vector.dataset import VectorDataset
-from repro.vector.distance import Metric, single_distance
+from repro.vector.distance import Metric, pairwise_distances, single_distance
 
 
 class HNSWIndex(VectorIndex):
@@ -32,6 +41,7 @@ class HNSWIndex(VectorIndex):
         ef_search: int = 32,
         metric: Metric = Metric.L2,
         seed: int = 0,
+        vectorized: bool = True,
     ):
         super().__init__(metric)
         if m < 2:
@@ -42,6 +52,10 @@ class HNSWIndex(VectorIndex):
         self.ef_construction = ef_construction
         self.ef_search = ef_search
         self._seed = seed
+        #: When True, frontier expansions are scored with one batched
+        #: kernel call; when False, the original per-edge loop runs.
+        #: Both produce identical graphs, results and work counters.
+        self.vectorized = vectorized
         self._level_multiplier = 1.0 / math.log(m)
         # _graph[level][node] -> list of neighbour nodes
         self._graph: list[dict[int, list[int]]] = []
@@ -53,6 +67,18 @@ class HNSWIndex(VectorIndex):
     def _distance(self, query: np.ndarray, node: int) -> float:
         self._distance_counter += 1
         return single_distance(query, self.dataset.vectors[node], self.metric)
+
+    def _distance_many(self, query: np.ndarray, nodes: list[int]) -> np.ndarray:
+        """Distances from ``query`` to several nodes in one kernel call.
+
+        Charges the work counter per vector scored — ``len(nodes)`` — so
+        E1's machine-independent accounting is unchanged by batching.
+        """
+        self._distance_counter += len(nodes)
+        return pairwise_distances(
+            query, self.dataset.vectors[np.asarray(nodes, dtype=np.int64)],
+            self.metric,
+        )
 
     # -- construction -----------------------------------------------------------------
 
@@ -123,16 +149,24 @@ class HNSWIndex(VectorIndex):
         for distance, node in candidates:
             if len(kept) >= m:
                 break
-            dominated = False
-            for other in kept:
-                to_other = single_distance(
+            if self.vectorized and kept:
+                to_kept = pairwise_distances(
                     self.dataset.vectors[node],
-                    self.dataset.vectors[other],
+                    self.dataset.vectors[np.asarray(kept, dtype=np.int64)],
                     self.metric,
                 )
-                if to_other < distance:
-                    dominated = True
-                    break
+                dominated = bool(np.any(to_kept < distance))
+            else:
+                dominated = False
+                for other in kept:
+                    to_other = single_distance(
+                        self.dataset.vectors[node],
+                        self.dataset.vectors[other],
+                        self.metric,
+                    )
+                    if to_other < distance:
+                        dominated = True
+                        break
             if not dominated:
                 kept.append(node)
         # Backfill with the closest dominated candidates if under-full.
@@ -148,18 +182,28 @@ class HNSWIndex(VectorIndex):
         """Re-select the links of ``node`` with the diversity heuristic."""
         origin = self.dataset.vectors[node]
         links = self._graph[layer][node]
-        scored = sorted(
-            (
-                single_distance(origin, self.dataset.vectors[other], self.metric),
-                other,
+        if self.vectorized:
+            link_distances = pairwise_distances(
+                origin,
+                self.dataset.vectors[np.asarray(links, dtype=np.int64)],
+                self.metric,
             )
-            for other in links
-        )
+            scored = sorted(zip(link_distances.tolist(), links))
+        else:
+            scored = sorted(
+                (
+                    single_distance(origin, self.dataset.vectors[other], self.metric),
+                    other,
+                )
+                for other in links
+            )
         self._graph[layer][node] = self._select_neighbours(origin, scored, max_degree)
 
     # -- search ------------------------------------------------------------------------
 
     def _greedy_step(self, query: np.ndarray, start: int, layer: int) -> int:
+        if self.vectorized:
+            return self._greedy_step_vectorized(query, start, layer)
         current = start
         current_distance = self._distance(query, current)
         improved = True
@@ -173,10 +217,35 @@ class HNSWIndex(VectorIndex):
                     improved = True
         return current
 
+    def _greedy_step_vectorized(
+        self, query: np.ndarray, start: int, layer: int
+    ) -> int:
+        """Greedy descent scoring each frontier's neighbours in one call.
+
+        Equivalent to the scalar loop: the sequential strict-``<`` update
+        lands on the first occurrence of the minimum, exactly what
+        ``np.argmin`` returns.
+        """
+        current = start
+        current_distance = self._distance(query, current)
+        while True:
+            neighbours = self._graph[layer].get(current, [])
+            if not neighbours:
+                return current
+            distances = self._distance_many(query, neighbours)
+            best = int(np.argmin(distances))
+            if distances[best] < current_distance:
+                current = neighbours[best]
+                current_distance = float(distances[best])
+            else:
+                return current
+
     def _search_layer(
         self, query: np.ndarray, entry_points: list[int], layer: int, ef: int
     ) -> list[tuple[float, int]]:
         """Beam search in one layer; returns (distance, node) sorted ascending."""
+        if self.vectorized:
+            return self._search_layer_vectorized(query, entry_points, layer, ef)
         visited: set[int] = set(entry_points)
         candidates: list[tuple[float, int]] = []
         best: list[tuple[float, int]] = []  # max-heap via negated distance
@@ -194,6 +263,50 @@ class HNSWIndex(VectorIndex):
                     continue
                 visited.add(neighbour)
                 neighbour_distance = self._distance(query, neighbour)
+                worst = -best[0][0]
+                if len(best) < ef or neighbour_distance < worst:
+                    heapq.heappush(candidates, (neighbour_distance, neighbour))
+                    heapq.heappush(best, (-neighbour_distance, neighbour))
+                    if len(best) > ef:
+                        heapq.heappop(best)
+        ordered = sorted((-negated, node) for negated, node in best)
+        return ordered
+
+    def _search_layer_vectorized(
+        self, query: np.ndarray, entry_points: list[int], layer: int, ef: int
+    ) -> list[tuple[float, int]]:
+        """Beam search scoring each frontier expansion with one kernel call.
+
+        The scalar loop scores every unvisited neighbour (whether or not
+        it is pushed), in adjacency order; scoring them all up front and
+        replaying the heap updates with precomputed distances performs the
+        identical operation sequence, so rankings, tie-breaks and the
+        distance-computation count are unchanged.
+        """
+        visited: set[int] = set(entry_points)
+        candidates: list[tuple[float, int]] = []
+        best: list[tuple[float, int]] = []  # max-heap via negated distance
+        entry_distances = self._distance_many(query, entry_points)
+        for point, distance in zip(entry_points, entry_distances):
+            distance = float(distance)
+            heapq.heappush(candidates, (distance, point))
+            heapq.heappush(best, (-distance, point))
+        while candidates:
+            distance, node = heapq.heappop(candidates)
+            worst = -best[0][0]
+            if distance > worst and len(best) >= ef:
+                break
+            fresh = [
+                neighbour
+                for neighbour in self._graph[layer].get(node, [])
+                if neighbour not in visited
+            ]
+            if not fresh:
+                continue
+            visited.update(fresh)
+            fresh_distances = self._distance_many(query, fresh)
+            for neighbour, neighbour_distance in zip(fresh, fresh_distances):
+                neighbour_distance = float(neighbour_distance)
                 worst = -best[0][0]
                 if len(best) < ef or neighbour_distance < worst:
                     heapq.heappush(candidates, (neighbour_distance, neighbour))

@@ -21,7 +21,7 @@ import numpy as np
 
 from repro.errors import IndexNotBuiltError, VectorError
 from repro.vector.base import SearchResult
-from repro.vector.distance import pairwise_distances
+from repro.vector.distance import pairwise_distances, pairwise_distances_batch
 from repro.vector.ivf import IVFIndex
 
 
@@ -49,9 +49,14 @@ class LearnedStopIVFIndex(IVFIndex):
 
     # -- features ---------------------------------------------------------------------
 
-    def _features(self, query: np.ndarray) -> np.ndarray:
+    def _features(
+        self, query: np.ndarray, centroid_distances: np.ndarray | None = None
+    ) -> np.ndarray:
         assert self._centroids is not None
-        centroid_distances = pairwise_distances(query, self._centroids, self.metric)
+        if centroid_distances is None:
+            centroid_distances = pairwise_distances(
+                query, self._centroids, self.metric
+            )
         ordered = np.sort(centroid_distances)
         nearest = float(ordered[0])
         second = float(ordered[1]) if len(ordered) > 1 else nearest
@@ -101,11 +106,13 @@ class LearnedStopIVFIndex(IVFIndex):
         """Whether :meth:`train` has been called."""
         return self._weights is not None
 
-    def predict_probes(self, query: np.ndarray) -> int:
+    def predict_probes(
+        self, query: np.ndarray, centroid_distances: np.ndarray | None = None
+    ) -> int:
         """Predicted number of probes for ``query`` (clamped to [1, n_lists])."""
         if self._weights is None:
             raise IndexNotBuiltError("the probe predictor was not trained")
-        raw = float(self._features(query) @ self._weights)
+        raw = float(self._features(query, centroid_distances) @ self._weights)
         probes = int(np.ceil(self.safety_margin * np.expm1(max(raw, 0.0))))
         return int(np.clip(probes, 1, len(self._lists)))
 
@@ -116,3 +123,30 @@ class LearnedStopIVFIndex(IVFIndex):
         result = self.search_with_probes(query, k, probes)
         result.metadata["predicted_probes"] = probes
         return result
+
+    def _search_batch(self, queries: np.ndarray, k: int) -> list[SearchResult]:
+        """Batched learned-stop search: one centroid-distance kernel feeds
+        both the probe predictor's features and the probe ordering, then
+        the (per-query ragged) probe sets are scored with the IVF padded
+        batch scan."""
+        if self._weights is None:
+            raise IndexNotBuiltError("the probe predictor was not trained")
+        assert self._centroids is not None
+        centroid_distances = pairwise_distances_batch(
+            queries, self._centroids, self.metric
+        )
+        base_work = len(self._centroids)
+        probe_counts = [
+            self.predict_probes(query, row)
+            for query, row in zip(queries, centroid_distances)
+        ]
+        list_ids_per_query = [
+            np.argsort(row, kind="stable")[:probes]
+            for row, probes in zip(centroid_distances, probe_counts)
+        ]
+        results = self._scan_lists_batch(
+            queries, k, list_ids_per_query, base_work
+        )
+        for result, probes in zip(results, probe_counts):
+            result.metadata["predicted_probes"] = probes
+        return results

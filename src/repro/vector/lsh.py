@@ -15,7 +15,7 @@ import numpy as np
 from repro.errors import VectorError
 from repro.vector.base import SearchResult, VectorIndex
 from repro.vector.dataset import VectorDataset
-from repro.vector.distance import Metric, pairwise_distances
+from repro.vector.distance import Metric, pairwise_distances, rowwise_distances
 
 
 class LSHIndex(VectorIndex):
@@ -61,26 +61,44 @@ class LSHIndex(VectorIndex):
 
     @staticmethod
     def _signatures(data: np.ndarray, planes: np.ndarray) -> np.ndarray:
-        bits = (data @ planes.T) >= 0.0
+        # einsum (not @) so a row's sign pattern is bit-identical whether
+        # it is hashed alone or inside a batch (BLAS gemv/gemm accumulation
+        # orders differ; einsum's does not depend on the batch size).
+        bits = np.einsum("nd,bd->nb", data, planes) >= 0.0
         weights = 1 << np.arange(bits.shape[1])
         return bits @ weights
 
     def _query_buckets(self, query: np.ndarray) -> list[tuple[int, int]]:
         """(table_index, signature) pairs to probe, including multiprobes."""
         shifted = query - self._centre
+        signatures = [
+            int(self._signatures(shifted[None, :], planes)[0])
+            for planes in self._hyperplanes
+        ]
+        return self._expand_probes(signatures)
+
+    def _expand_probes(self, signatures: list[int]) -> list[tuple[int, int]]:
         probes: list[tuple[int, int]] = []
-        for table_index, planes in enumerate(self._hyperplanes):
-            signature = int(self._signatures(shifted[None, :], planes)[0])
+        for table_index, signature in enumerate(signatures):
             probes.append((table_index, signature))
             for bit in range(min(self.multiprobe_bits, self.n_bits)):
                 probes.append((table_index, signature ^ (1 << bit)))
         return probes
 
-    def _search(self, query: np.ndarray, k: int) -> SearchResult:
+    def _candidate_positions(
+        self, probes: list[tuple[int, int]]
+    ) -> np.ndarray | None:
+        """Union of bucket members, in the single-path's candidate order."""
         candidate_set: set[int] = set()
-        for table_index, signature in self._query_buckets(query):
+        for table_index, signature in probes:
             candidate_set.update(self._tables[table_index].get(signature, []))
         if not candidate_set:
+            return None
+        return np.fromiter(candidate_set, dtype=np.int64, count=len(candidate_set))
+
+    def _search(self, query: np.ndarray, k: int) -> SearchResult:
+        positions = self._candidate_positions(self._query_buckets(query))
+        if positions is None:
             return SearchResult(
                 ids=[],
                 distances=[],
@@ -88,7 +106,6 @@ class LSHIndex(VectorIndex):
                 candidates_visited=0,
                 metadata={"buckets_empty": True},
             )
-        positions = np.fromiter(candidate_set, dtype=np.int64)
         distances = pairwise_distances(
             query, self.dataset.vectors[positions], self.metric
         )
@@ -98,3 +115,58 @@ class LSHIndex(VectorIndex):
             k=k,
             distance_computations=len(positions),
         )
+
+    def _search_batch(self, queries: np.ndarray, k: int) -> list[SearchResult]:
+        """Batched LSH: per table, hash all queries with one kernel, then
+        score every query's candidate union in one padded einsum."""
+        shifted = queries - self._centre
+        # (n_tables, batch) signature matrix: one hashing kernel per table.
+        signature_columns = [
+            self._signatures(shifted, planes) for planes in self._hyperplanes
+        ]
+        candidate_positions: list[np.ndarray | None] = []
+        max_len = 0
+        for row in range(len(queries)):
+            signatures = [int(column[row]) for column in signature_columns]
+            positions = self._candidate_positions(self._expand_probes(signatures))
+            candidate_positions.append(positions)
+            if positions is not None:
+                max_len = max(max_len, len(positions))
+        results: list[SearchResult] = []
+        scored_rows = [
+            row
+            for row, positions in enumerate(candidate_positions)
+            if positions is not None
+        ]
+        distance_matrix = None
+        if scored_rows:
+            padded = np.zeros((len(scored_rows), max_len), dtype=np.int64)
+            for slot, row in enumerate(scored_rows):
+                positions = candidate_positions[row]
+                padded[slot, : len(positions)] = positions
+            distance_matrix = rowwise_distances(
+                queries[scored_rows], self.dataset.vectors[padded], self.metric
+            )
+        slot_of_row = {row: slot for slot, row in enumerate(scored_rows)}
+        for row, positions in enumerate(candidate_positions):
+            if positions is None:
+                results.append(
+                    SearchResult(
+                        ids=[],
+                        distances=[],
+                        distance_computations=0,
+                        candidates_visited=0,
+                        metadata={"buckets_empty": True},
+                    )
+                )
+                continue
+            row_distances = distance_matrix[slot_of_row[row], : len(positions)]
+            results.append(
+                self._result_from_candidates(
+                    positions=positions,
+                    distances=row_distances,
+                    k=k,
+                    distance_computations=len(positions),
+                )
+            )
+        return results
