@@ -33,6 +33,7 @@ from repro.benchgen import WorkloadSpec, build_workload, execution_accuracy
 from repro.core import AnswerKind, CDAEngine, ReliabilityConfig
 from repro.datasets.registry import DataSourceRegistry
 from repro.nl import SimulatedLLM
+from repro.obs import stage_timings
 
 ERROR_RATES = (0.0, 0.3, 0.6, 0.9)
 N_PER_DOMAIN = 12
@@ -94,6 +95,27 @@ def test_e7_end_to_end_reliability(workload, benchmark):
                 ]
             )
 
+    # Per-stage breakdown: every full_cda ask records a span tree, so the
+    # end-to-end number decomposes into pipeline stages for free.
+    traces = []
+    for item in workload.items:
+        registry = DataSourceRegistry(item.spec.database)
+        llm = SimulatedLLM(item.spec.database.catalog, error_rate=0.3, seed=202)
+        engine = CDAEngine(registry, config=ReliabilityConfig.full(), llm=llm)
+        answer = engine.ask(item.case.question, llm_gold_sql=item.case.gold_sql)
+        if answer.trace is not None:
+            traces.append(answer.trace)
+    assert traces, "full_cda asks should carry a trace"
+    breakdown = stage_timings(traces)
+    assert "engine.intent" in breakdown
+    stage_rows = [
+        [name, str(entry["count"]), f"{entry['total_ms']:.2f}",
+         f"{entry['mean_ms']:.3f}"]
+        for name, entry in sorted(
+            breakdown.items(), key=lambda pair: -pair[1]["total_ms"]
+        )
+    ]
+
     write_results(
         "e7_end_to_end",
         format_table(
@@ -103,6 +125,15 @@ def test_e7_end_to_end_reliability(workload, benchmark):
             title=(
                 f"E7: end-to-end reliability over {len(workload.items)} "
                 "questions per cell"
+            ),
+        )
+        + [""]
+        + format_table(
+            ["stage", "count", "total ms", "mean ms"],
+            stage_rows,
+            title=(
+                f"E7 stage breakdown (full_cda, error 0.3, "
+                f"{len(traces)} traced turns)"
             ),
         ),
     )

@@ -7,8 +7,9 @@ Converse with one of the bundled synthetic domains::
 
 Interactive mode reads questions from stdin until EOF/empty line;
 ``--ask`` answers one question and exits (script-friendly).  Annotations
-(confidence, sources, suggestions) are printed with every answer, and
-``--show-sql`` / ``--show-explanation`` expose the P3 artefacts.
+(confidence, sources, suggestions) are printed with every answer,
+``--show-sql`` / ``--show-explanation`` expose the P3 artefacts, and
+``--trace`` prints the per-turn span tree (the observability layer).
 """
 
 from __future__ import annotations
@@ -61,6 +62,10 @@ def answer_and_print(engine: CDAEngine, question: str, args) -> None:
         print(f"SQL: {answer.sql}")
     if args.show_explanation and answer.explanation is not None:
         print(answer.explanation.to_text())
+    if args.trace and answer.trace is not None:
+        from repro.obs import render_text
+
+        print(render_text(answer.trace))
 
 
 def main(argv: list[str] | None = None) -> int:
@@ -85,6 +90,10 @@ def main(argv: list[str] | None = None) -> int:
         help="print the provenance-backed explanation",
     )
     parser.add_argument(
+        "--trace", action="store_true",
+        help="print the per-turn span tree after each answer",
+    )
+    parser.add_argument(
         "--llm-error-rate", type=float, default=None, metavar="EPS",
         help="attach a simulated LLM fallback with this hallucination rate",
     )
@@ -106,11 +115,12 @@ def main(argv: list[str] | None = None) -> int:
         if not line:
             break
         answer_and_print(engine, line, args)
+    summary = engine.session.snapshot()
     print(
-        f"session: {engine.session.questions_asked} questions, "
-        f"{engine.session.answers_given} answered, "
-        f"{engine.session.abstentions} abstained, "
-        f"{engine.session.clarifications_asked} clarifications"
+        f"session: {summary['questions_asked']} questions, "
+        f"{summary['answers_given']} answered, "
+        f"{summary['abstentions']} abstained, "
+        f"{summary['clarifications_asked']} clarifications"
     )
     return 0
 

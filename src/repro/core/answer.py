@@ -11,6 +11,7 @@ from __future__ import annotations
 import enum
 from dataclasses import dataclass, field
 
+from repro.obs.trace import Span
 from repro.guidance.clarification import ClarificationQuestion
 from repro.guidance.suggestions import Suggestion
 from repro.nl.grammar import QueryIntent
@@ -49,6 +50,10 @@ class Answer:
     suggestions: list[Suggestion] = field(default_factory=list)
     sources: list[str] = field(default_factory=list)
     metadata: dict = field(default_factory=dict)
+    #: The per-turn span tree (how this answer was produced) when
+    #: :attr:`~repro.core.config.ReliabilityConfig.tracing` is on —
+    #: system-side transparency as a first-class answer component.
+    trace: Span | None = None
 
     @property
     def answered(self) -> bool:

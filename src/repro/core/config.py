@@ -41,6 +41,11 @@ class ReliabilityConfig:
     # P3 Explainability ----------------------------------------------------------
     #: Attach a provenance-backed explanation to every data answer.
     attach_explanations: bool = True
+    #: Record a per-turn span tree (``answer.trace``) through every
+    #: pipeline stage.  Off = the engine never opens a trace and every
+    #: instrumented call site degenerates to a shared no-op (near-zero
+    #: overhead, measured by benchmark E15).
+    tracing: bool = True
 
     # P4 Soundness ------------------------------------------------------------------
     #: Verification depth: "none" | "static" | "reexecution" | "provenance".

@@ -13,6 +13,7 @@ from __future__ import annotations
 from repro.core.answer import Answer, AnswerKind
 from repro.core.config import ReliabilityConfig
 from repro.core.session import Session
+from repro.obs.trace import span, start_trace
 from repro.datasets.registry import DataSourceRegistry
 from repro.errors import (
     AmbiguousQuestionError,
@@ -95,7 +96,26 @@ class CDAEngine:
         ``llm_gold_sql`` is the oracle query for the *simulated* LLM —
         benchmarks supply it so the generator's error process can act; it
         is never consulted by the reliability machinery itself.
+
+        With :attr:`ReliabilityConfig.tracing` on, the turn runs under a
+        root span and the finished span tree is attached as
+        ``answer.trace`` — the system-side provenance of the answer
+        itself (which stages ran, where the time and confidence went).
         """
+        if not self.config.tracing:
+            return self._ask(text, llm_gold_sql)
+        with start_trace("engine.ask", question=text) as root:
+            answer = self._ask(text, llm_gold_sql)
+            root.set_attribute("answer.kind", answer.kind.value)
+            if answer.confidence is not None:
+                root.set_attribute(
+                    "answer.confidence", round(answer.confidence.value, 4)
+                )
+        answer.trace = root
+        return answer
+
+    def _ask(self, text: str, llm_gold_sql: str | None) -> Answer:
+        """The untraced turn pipeline (see :meth:`ask`)."""
         if self.session.expecting_clarification_reply:
             turn_id = self.session.record_user_turn(
                 text, TurnKind.CLARIFICATION_REPLY
@@ -110,7 +130,9 @@ class CDAEngine:
             followup = self._try_followup(text, turn_id)
             if followup is not None:
                 return followup
-        intent = classify_intent(text)
+        with span("engine.intent") as intent_span:
+            intent = classify_intent(text)
+            intent_span.set_attribute("kind", intent.kind.value)
         if turn_id is None:
             turn_id = self.session.record_user_turn(text, TurnKind.USER_QUESTION)
         if intent.kind is IntentKind.DATASET_DISCOVERY:
@@ -184,7 +206,9 @@ class CDAEngine:
     # ------------------------------------------------------------------------------
 
     def _handle_discovery(self, text: str, turn_id: int) -> Answer:
-        suggestions = self.search_engine.suggestions_for_prose(text, k=3)
+        with span("engine.retrieval") as retrieval_span:
+            suggestions = self.search_engine.suggestions_for_prose(text, k=3)
+            retrieval_span.set_attribute("hits", len(suggestions))
         self.session.tracker.record(
             component="retrieval",
             kind=ProvenanceNodeKind.QUERY,
@@ -257,13 +281,17 @@ class CDAEngine:
             surface = info.name.replace("_", " ").lower()
             if surface in text.lower():
                 return self._dataset_overview(info.name, turn_id)
-        hits = self.doc_retriever.search(text, k=2)
-        if not hits and self.vocabulary is not None:
-            expansions = []
-            for grounded in self.vocabulary.ground_question(text):
-                expansions.extend(self.vocabulary.expand(grounded.term.name))
-            if expansions:
-                hits = self.doc_retriever.search(text + " " + " ".join(expansions), k=2)
+        with span("engine.retrieval") as retrieval_span:
+            hits = self.doc_retriever.search(text, k=2)
+            if not hits and self.vocabulary is not None:
+                expansions = []
+                for grounded in self.vocabulary.ground_question(text):
+                    expansions.extend(self.vocabulary.expand(grounded.term.name))
+                if expansions:
+                    hits = self.doc_retriever.search(
+                        text + " " + " ".join(expansions), k=2
+                    )
+            retrieval_span.set_attribute("hits", len(hits))
         if not hits:
             answer = Answer(
                 kind=AnswerKind.ABSTENTION,
@@ -622,7 +650,10 @@ class CDAEngine:
         self, text: str, turn_id: int, outcome: ParseOutcome
     ) -> Answer:
         try:
-            result = self.database.execute(outcome.sql)
+            with span("engine.execution") as exec_span:
+                result = self.database.execute(outcome.sql)
+                exec_span.set_attribute("rows", len(result.rows))
+                exec_span.set_attribute("scanned_rows", result.scanned_rows)
         except CDAError as error:
             return self._error_answer(turn_id, f"query failed: {error}")
         verification = self._verify(result)
@@ -663,16 +694,20 @@ class CDAEngine:
             )
             self.session.record_system_turn(answer.text, TurnKind.ABSTENTION, turn_id)
             return answer
-        samples = self.llm.generate_sql(
-            text, llm_gold_sql, n_samples=max(1, self.config.consistency_samples)
-        )
+        with span("nl.llm.translate") as llm_span:
+            samples = self.llm.generate_sql(
+                text, llm_gold_sql, n_samples=max(1, self.config.consistency_samples)
+            )
+            llm_span.set_attribute("samples", len(samples))
         candidates = samples
         if self.config.use_constrained_decoding:
-            candidates = [
-                sample
-                for sample in samples
-                if self.validator.validate(sample.sql).valid
-            ]
+            with span("nl.decoder.validate") as decode_span:
+                candidates = [
+                    sample
+                    for sample in samples
+                    if self.validator.validate(sample.sql).valid
+                ]
+                decode_span.set_attribute("valid", len(candidates))
             if not candidates:
                 answer = Answer(
                     kind=AnswerKind.ABSTENTION,
@@ -686,7 +721,10 @@ class CDAEngine:
                 )
                 return answer
         if len(candidates) > 1:
-            vote = self.uq.assess(candidates)
+            with span("soundness.uq.vote") as uq_span:
+                vote = self.uq.assess(candidates)
+                uq_span.set_attribute("candidates", len(candidates))
+                uq_span.set_attribute("agreement", round(vote.confidence, 4))
             chosen = vote.chosen
             consistency: float | None = vote.confidence
         else:
@@ -695,7 +733,10 @@ class CDAEngine:
         if chosen is None:
             return self._error_answer(turn_id, "no candidate query was executable")
         try:
-            result = self.database.execute(chosen.sql)
+            with span("engine.execution") as exec_span:
+                result = self.database.execute(chosen.sql)
+                exec_span.set_attribute("rows", len(result.rows))
+                exec_span.set_attribute("scanned_rows", result.scanned_rows)
         except CDAError as error:
             return self._error_answer(turn_id, f"generated query failed: {error}")
         verification = self._verify(result)
@@ -715,7 +756,13 @@ class CDAEngine:
     def _verify(self, result: QueryResult):
         if self.config.verification_depth == "none":
             return None
-        return self.verifier.verify(result, depth=self.config.verification_depth)
+        with span("engine.verification") as verify_span:
+            report = self.verifier.verify(
+                result, depth=self.config.verification_depth
+            )
+            verify_span.set_attribute("depth", report.depth)
+            verify_span.set_attribute("passed", report.passed)
+        return report
 
     def _finalise_data_answer(
         self,
@@ -728,10 +775,13 @@ class CDAEngine:
         parse_based: bool,
     ) -> Answer:
         if self.config.allow_abstention:
-            decision = self.policy.decide(
-                confidence.value,
-                None if verification is None else verification.passed,
-            )
+            with span("engine.abstention") as abstention_span:
+                decision = self.policy.decide(
+                    confidence.value,
+                    None if verification is None else verification.passed,
+                )
+                abstention_span.set_attribute("abstained", decision.abstained)
+                abstention_span.set_attribute("threshold", self.policy.threshold)
             if decision.abstained:
                 answer = Answer(
                     kind=AnswerKind.ABSTENTION,

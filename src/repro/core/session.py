@@ -14,6 +14,7 @@ from dataclasses import dataclass, field
 from repro.guidance.clarification import ClarificationQuestion
 from repro.guidance.conversation_graph import ConversationGraph, TurnKind
 from repro.guidance.profiling import UserProfiler
+from repro.obs.metrics import counter
 from repro.provenance.tracker import ProvenanceTracker
 
 
@@ -53,6 +54,7 @@ class Session:
         turn = self.graph.add_turn(actor="user", kind=kind, text=text)
         if kind is TurnKind.USER_QUESTION:
             self.questions_asked += 1
+            counter("core.session.questions").inc()
             self.profiler.observe(text)
         return turn.turn_id
 
@@ -75,11 +77,26 @@ class Session:
         )
         if kind is TurnKind.SYSTEM_ANSWER:
             self.answers_given += 1
+            counter("core.session.answers").inc()
         elif kind is TurnKind.ABSTENTION:
             self.abstentions += 1
+            counter("core.session.abstentions").inc()
         elif kind is TurnKind.CLARIFICATION_REQUEST:
             self.clarifications_asked += 1
+            counter("core.session.clarifications").inc()
         return turn.turn_id
+
+    def snapshot(self) -> dict:
+        """The session counters and context as one introspection dict."""
+        return {
+            "questions_asked": self.questions_asked,
+            "answers_given": self.answers_given,
+            "abstentions": self.abstentions,
+            "clarifications_asked": self.clarifications_asked,
+            "turns": len(self.graph),
+            "focus_table": self.focus_table,
+            "pending_clarification": self.pending_clarification is not None,
+        }
 
     @property
     def expecting_clarification_reply(self) -> bool:

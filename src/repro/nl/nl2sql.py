@@ -27,6 +27,7 @@ import re
 from dataclasses import dataclass, field
 
 from repro.errors import AmbiguousQuestionError, TranslationError
+from repro.obs.trace import span
 from repro.kg.schema_kg import SchemaKnowledgeGraph
 from repro.kg.vocabulary import DomainVocabulary
 from repro.nl.grammar import AggregateSpec, FilterSpec, OrderSpec, QueryIntent
@@ -127,7 +128,27 @@ class GroundedSemanticParser:
 
         ``preferred_table`` settles table ambiguity in favour of the named
         table — this is how a clarification reply is folded back in.
+
+        Under an active turn trace the two halves report as separate
+        stages: ``nl.nl2sql.ground`` (question → logical form, the P2
+        work) and ``nl.nl2sql.translate`` (logical form → SQL).
         """
+        with span("nl.nl2sql.ground") as ground_span:
+            intent, notes, scores = self._ground(question, preferred_table)
+            ground_span.set_attribute("table", intent.table)
+            ground_span.set_attribute("groundings", len(notes))
+        with span("nl.nl2sql.translate") as translate_span:
+            sql = compile_intent(intent).to_sql()
+            translate_span.set_attribute("sql", sql)
+        confidence = min(scores) if scores else 0.5
+        return ParseOutcome(
+            intent=intent, sql=sql, confidence=confidence, grounding_notes=notes
+        )
+
+    def _ground(
+        self, question: str, preferred_table: str | None
+    ) -> tuple[QueryIntent, list[str], list[float]]:
+        """Ground ``question`` into a :class:`QueryIntent` plus audit trail."""
         notes: list[str] = []
         scores: list[float] = []
         text = question.strip().rstrip("?").lower()
@@ -228,11 +249,7 @@ class GroundedSemanticParser:
             limit=limit,
             join=join,
         )
-        sql = compile_intent(intent).to_sql()
-        confidence = min(scores) if scores else 0.5
-        return ParseOutcome(
-            intent=intent, sql=sql, confidence=confidence, grounding_notes=notes
-        )
+        return intent, notes, scores
 
     # -- table resolution --------------------------------------------------------------
 

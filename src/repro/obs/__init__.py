@@ -1,0 +1,53 @@
+"""Observability layer: per-turn tracing + unified metrics registry.
+
+The first cross-cutting layer of the reproduction: every other package
+reports *into* it (spans via :mod:`repro.obs.trace`, tallies via
+:mod:`repro.obs.metrics`) and the engine exports *out of* it
+(:mod:`repro.obs.export` renders a turn trace as JSON or text, attached
+to each :class:`~repro.core.answer.Answer` as ``answer.trace``).
+
+Dependency-free by design — stdlib only — so any layer can import it
+without cycles, and disabled instrumentation costs one no-op call.
+"""
+
+from repro.obs.trace import NULL_SPAN, Span, current_span, span, start_trace
+from repro.obs.metrics import (
+    Counter,
+    Gauge,
+    Histogram,
+    MetricsRegistry,
+    counter,
+    gauge,
+    get_registry,
+    histogram,
+)
+from repro.obs.export import (
+    from_dict,
+    from_json,
+    render_text,
+    stage_timings,
+    to_dict,
+    to_json,
+)
+
+__all__ = [
+    "Span",
+    "NULL_SPAN",
+    "span",
+    "start_trace",
+    "current_span",
+    "Counter",
+    "Gauge",
+    "Histogram",
+    "MetricsRegistry",
+    "get_registry",
+    "counter",
+    "gauge",
+    "histogram",
+    "to_dict",
+    "from_dict",
+    "to_json",
+    "from_json",
+    "render_text",
+    "stage_timings",
+]

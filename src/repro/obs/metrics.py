@@ -1,0 +1,286 @@
+"""Unified metrics registry: counters, gauges, fixed-bucket histograms.
+
+Before this module every layer kept bespoke tallies — ``CacheStats`` on
+the query cache, ``QueryStats`` on the database, ad-hoc ints on the
+session, per-result work counters on the vector indexes — with no single
+place to read, reset, or export them.  The registry unifies them under
+the ``layer.component.metric`` naming scheme (``sqldb.cache.hits``,
+``vector.index.distance_computations``, ``core.session.questions``)
+while the original attributes remain as thin views for compatibility.
+
+Design constraints mirror :mod:`repro.obs.trace`:
+
+* **dependency-free** — stdlib only, importable from every layer;
+* **global but resettable** — one process-wide default registry
+  (:func:`get_registry`); :meth:`MetricsRegistry.reset` zeroes every
+  metric *in place*, so handles cached at import time (the hot-path
+  pattern) survive test-isolation resets;
+* **no numpy in the hot path** — :class:`Histogram` buckets are a plain
+  linear scan over a short tuple of bounds; observation is O(#buckets)
+  with no allocation.
+"""
+
+from __future__ import annotations
+
+import bisect
+
+__all__ = [
+    "Counter",
+    "Gauge",
+    "Histogram",
+    "MetricsRegistry",
+    "get_registry",
+    "counter",
+    "gauge",
+    "histogram",
+]
+
+
+class Counter:
+    """A monotonically increasing tally (resettable to zero)."""
+
+    __slots__ = ("name", "value")
+
+    kind = "counter"
+
+    def __init__(self, name: str):
+        self.name = name
+        self.value = 0
+
+    def inc(self, amount: int = 1) -> None:
+        """Add ``amount`` (default 1) to the tally."""
+        self.value += amount
+
+    def reset(self) -> None:
+        """Zero the tally in place (handles stay valid)."""
+        self.value = 0
+
+    def snapshot(self):
+        """The current value (plain int/float for JSON export)."""
+        return self.value
+
+    def __repr__(self) -> str:
+        return f"Counter({self.name!r}, {self.value})"
+
+
+class Gauge:
+    """A point-in-time value (last write wins)."""
+
+    __slots__ = ("name", "value")
+
+    kind = "gauge"
+
+    def __init__(self, name: str):
+        self.name = name
+        self.value: float = 0.0
+
+    def set(self, value: float) -> None:
+        """Record the current level."""
+        self.value = value
+
+    def inc(self, amount: float = 1.0) -> None:
+        """Adjust the level relatively (e.g. open connections)."""
+        self.value += amount
+
+    def dec(self, amount: float = 1.0) -> None:
+        """Inverse of :meth:`inc`."""
+        self.value -= amount
+
+    def reset(self) -> None:
+        """Zero the gauge in place."""
+        self.value = 0.0
+
+    def snapshot(self):
+        """The current value."""
+        return self.value
+
+    def __repr__(self) -> str:
+        return f"Gauge({self.name!r}, {self.value})"
+
+
+#: Default histogram bounds: decade-spanning, unit-agnostic (callers
+#: observing seconds get µs-to-minutes coverage; callers observing counts
+#: get 1-to-1e6 coverage).
+DEFAULT_BUCKETS: tuple[float, ...] = (
+    1e-6, 1e-5, 1e-4, 1e-3, 1e-2, 0.1, 1.0, 10.0, 100.0, 1e3, 1e4, 1e5, 1e6,
+)
+
+
+class Histogram:
+    """Fixed-bucket histogram: cumulative-style counts, sum, min/max.
+
+    ``buckets`` are upper bounds (inclusive) of each bin, ascending; one
+    implicit overflow bin catches everything larger.  Observation is a
+    binary search over the bounds — no numpy, no allocation.
+    """
+
+    __slots__ = ("name", "buckets", "counts", "count", "total", "min", "max")
+
+    kind = "histogram"
+
+    def __init__(self, name: str, buckets: tuple[float, ...] | None = None):
+        bounds = tuple(buckets) if buckets is not None else DEFAULT_BUCKETS
+        if not bounds or list(bounds) != sorted(bounds):
+            raise ValueError("histogram buckets must be ascending and non-empty")
+        self.name = name
+        self.buckets = bounds
+        self.counts = [0] * (len(bounds) + 1)  # +1 overflow bin
+        self.count = 0
+        self.total = 0.0
+        self.min: float | None = None
+        self.max: float | None = None
+
+    def observe(self, value: float) -> None:
+        """Record one observation."""
+        self.counts[bisect.bisect_left(self.buckets, value)] += 1
+        self.count += 1
+        self.total += value
+        if self.min is None or value < self.min:
+            self.min = value
+        if self.max is None or value > self.max:
+            self.max = value
+
+    @property
+    def mean(self) -> float:
+        """Average observation (0 when empty)."""
+        return self.total / self.count if self.count else 0.0
+
+    def quantile(self, q: float) -> float:
+        """Bucket-resolution quantile: the upper bound of the bin holding
+        the ``q``-th observation (``max`` for the overflow bin)."""
+        if not (0.0 <= q <= 1.0):
+            raise ValueError("q must be in [0, 1]")
+        if self.count == 0:
+            return 0.0
+        target = q * self.count
+        running = 0
+        for index, bin_count in enumerate(self.counts):
+            running += bin_count
+            if running >= target:
+                if index < len(self.buckets):
+                    return self.buckets[index]
+                return self.max if self.max is not None else 0.0
+        return self.max if self.max is not None else 0.0
+
+    def reset(self) -> None:
+        """Zero all bins and stats in place."""
+        self.counts = [0] * (len(self.buckets) + 1)
+        self.count = 0
+        self.total = 0.0
+        self.min = None
+        self.max = None
+
+    def snapshot(self) -> dict:
+        """Summary dict (JSON-ready)."""
+        return {
+            "count": self.count,
+            "sum": self.total,
+            "mean": self.mean,
+            "min": self.min,
+            "max": self.max,
+            "buckets": {
+                str(bound): self.counts[index]
+                for index, bound in enumerate(self.buckets)
+                if self.counts[index]
+            },
+            "overflow": self.counts[-1],
+        }
+
+    def __repr__(self) -> str:
+        return f"Histogram({self.name!r}, n={self.count}, mean={self.mean:.4g})"
+
+
+class MetricsRegistry:
+    """Named metrics, created on first use, resettable as a unit.
+
+    ``counter``/``gauge``/``histogram`` are get-or-create: the first call
+    registers, later calls return the same object — which is what lets
+    hot paths cache a handle at import time and never pay a lookup again.
+    Asking for an existing name as a different kind raises.
+    """
+
+    def __init__(self):
+        self._metrics: dict[str, Counter | Gauge | Histogram] = {}
+
+    def _get_or_create(self, name: str, factory, kind: str):
+        metric = self._metrics.get(name)
+        if metric is None:
+            metric = factory()
+            self._metrics[name] = metric
+        elif metric.kind != kind:
+            raise TypeError(
+                f"metric {name!r} is a {metric.kind}, requested as {kind}"
+            )
+        return metric
+
+    def counter(self, name: str) -> Counter:
+        """The counter named ``name`` (created on first use)."""
+        return self._get_or_create(name, lambda: Counter(name), "counter")
+
+    def gauge(self, name: str) -> Gauge:
+        """The gauge named ``name`` (created on first use)."""
+        return self._get_or_create(name, lambda: Gauge(name), "gauge")
+
+    def histogram(
+        self, name: str, buckets: tuple[float, ...] | None = None
+    ) -> Histogram:
+        """The histogram named ``name`` (created on first use).
+
+        ``buckets`` only applies at creation; later callers share the
+        original binning.
+        """
+        return self._get_or_create(name, lambda: Histogram(name, buckets), "histogram")
+
+    def get(self, name: str):
+        """The metric named ``name``, or None."""
+        return self._metrics.get(name)
+
+    def names(self) -> list[str]:
+        """All registered metric names, sorted."""
+        return sorted(self._metrics)
+
+    def __contains__(self, name: str) -> bool:
+        return name in self._metrics
+
+    def __len__(self) -> int:
+        return len(self._metrics)
+
+    def reset(self) -> None:
+        """Zero every metric *in place* — registrations and cached handles
+        survive, which is what test isolation relies on."""
+        for metric in self._metrics.values():
+            metric.reset()
+
+    def snapshot(self, prefix: str = "") -> dict:
+        """Name → value/summary for every metric (optionally filtered by
+        name prefix); counters/gauges flatten to scalars, histograms to
+        summary dicts.  Sorted for stable JSON diffs."""
+        return {
+            name: metric.snapshot()
+            for name, metric in sorted(self._metrics.items())
+            if name.startswith(prefix)
+        }
+
+
+#: The process-wide default registry every layer reports into.
+_GLOBAL = MetricsRegistry()
+
+
+def get_registry() -> MetricsRegistry:
+    """The global registry (reset it between tests, never replace it)."""
+    return _GLOBAL
+
+
+def counter(name: str) -> Counter:
+    """Shorthand for ``get_registry().counter(name)``."""
+    return _GLOBAL.counter(name)
+
+
+def gauge(name: str) -> Gauge:
+    """Shorthand for ``get_registry().gauge(name)``."""
+    return _GLOBAL.gauge(name)
+
+
+def histogram(name: str, buckets: tuple[float, ...] | None = None) -> Histogram:
+    """Shorthand for ``get_registry().histogram(name, buckets)``."""
+    return _GLOBAL.histogram(name, buckets)

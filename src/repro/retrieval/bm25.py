@@ -22,6 +22,7 @@ from dataclasses import dataclass
 import numpy as np
 
 from repro.errors import CDAError
+from repro.obs.metrics import counter
 from repro.retrieval.documents import Document, DocumentStore
 from repro.vector.embedding import tokenize_text
 
@@ -32,6 +33,9 @@ class ScoredDocument:
 
     doc_id: str
     score: float
+
+
+_QUERIES = counter("retrieval.bm25.queries")
 
 
 class BM25Index:
@@ -152,6 +156,7 @@ class BM25Index:
 
     def search(self, query: str, k: int = 10) -> list[ScoredDocument]:
         """Top-k documents for ``query`` by BM25 score."""
+        _QUERIES.inc()
         if self._n_documents == 0:
             return []
         if self._dirty:

@@ -14,6 +14,8 @@ from dataclasses import dataclass
 from typing import TYPE_CHECKING
 
 from repro.kg.vocabulary import DomainVocabulary
+from repro.obs.metrics import counter
+from repro.obs.trace import span
 from repro.retrieval.hybrid import HybridRetriever
 
 if TYPE_CHECKING:  # registry imports retrieval; keep this edge type-only
@@ -27,6 +29,9 @@ class DatasetHit:
     info: "DataSourceInfo"
     score: float
     matched_via: str  # "hybrid" | "lexical" | "dense"
+
+
+_DISCOVERY_QUERIES = counter("retrieval.discovery.queries")
 
 
 class DatasetSearchEngine:
@@ -78,14 +83,28 @@ class DatasetSearchEngine:
         """
         if not queries:
             return []
-        expanded = [self._expand_query(query) for query in queries]
-        if self.mode == "lexical":
-            raw_rankings = self._retriever.search_lexical_batch(expanded, k * 2)
-        elif self.mode == "dense":
-            raw_rankings = self._retriever.search_dense_batch(expanded, k * 2)
-        else:
-            raw_rankings = self._retriever.search_batch(expanded, k * 2)
-        return [self._filter_hits(raw_hits, k) for raw_hits in raw_rankings]
+        _DISCOVERY_QUERIES.inc(len(queries))
+        with span(
+            "retrieval.discovery.search", mode=self.mode, queries=len(queries)
+        ) as discovery_span:
+            expanded = [self._expand_query(query) for query in queries]
+            if self.mode == "lexical":
+                with span("retrieval.bm25.search", queries=len(queries)):
+                    raw_rankings = self._retriever.search_lexical_batch(
+                        expanded, k * 2
+                    )
+            elif self.mode == "dense":
+                with span("retrieval.dense.search", queries=len(queries)):
+                    raw_rankings = self._retriever.search_dense_batch(
+                        expanded, k * 2
+                    )
+            else:
+                raw_rankings = self._retriever.search_batch(expanded, k * 2)
+            rankings = [self._filter_hits(raw_hits, k) for raw_hits in raw_rankings]
+            discovery_span.set_attribute(
+                "hits", sum(len(ranking) for ranking in rankings)
+            )
+        return rankings
 
     def _filter_hits(self, raw_hits, k: int) -> list[DatasetHit]:
         """Keep registered, fresh sources — discovery never proposes rot."""

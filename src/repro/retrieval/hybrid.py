@@ -14,6 +14,8 @@ from dataclasses import dataclass
 
 import numpy as np
 
+from repro.obs.metrics import counter
+from repro.obs.trace import span
 from repro.retrieval.bm25 import BM25Index
 from repro.retrieval.documents import DocumentStore
 from repro.vector.base import VectorIndex
@@ -31,6 +33,13 @@ class RetrievalHit:
     score: float
     lexical_rank: int | None = None
     dense_rank: int | None = None
+
+
+# How many fused top-k hits each ranker contributed evidence for —
+# the per-ranker share of hybrid retrieval (E8's quality axis, observed).
+_HYBRID_QUERIES = counter("retrieval.hybrid.queries")
+_LEXICAL_CONTRIBUTIONS = counter("retrieval.hybrid.lexical_contributions")
+_DENSE_CONTRIBUTIONS = counter("retrieval.hybrid.dense_contributions")
 
 
 def reciprocal_rank_fusion(
@@ -141,18 +150,23 @@ class HybridRetriever:
         """
         self._require_built()
         pool = max(k * 3, 10)
-        lexical_rankings = self.search_lexical_batch(queries, pool)
-        dense_rankings = self.search_dense_batch(queries, pool)
-        fused_rankings = []
-        for lexical, dense in zip(lexical_rankings, dense_rankings):
-            fused = reciprocal_rank_fusion(
-                [[hit.doc_id for hit in lexical], [hit.doc_id for hit in dense]],
-                k=self.rrf_k,
-            )
-            lexical_ranks = {hit.doc_id: hit.lexical_rank for hit in lexical}
-            dense_ranks = {hit.doc_id: hit.dense_rank for hit in dense}
-            fused_rankings.append(
-                [
+        with span(
+            "retrieval.hybrid.search", queries=len(queries), k=k
+        ) as hybrid_span:
+            with span("retrieval.bm25.search", queries=len(queries)):
+                lexical_rankings = self.search_lexical_batch(queries, pool)
+            with span("retrieval.dense.search", queries=len(queries)):
+                dense_rankings = self.search_dense_batch(queries, pool)
+            fused_rankings = []
+            lexical_contributions = dense_contributions = 0
+            for lexical, dense in zip(lexical_rankings, dense_rankings):
+                fused = reciprocal_rank_fusion(
+                    [[hit.doc_id for hit in lexical], [hit.doc_id for hit in dense]],
+                    k=self.rrf_k,
+                )
+                lexical_ranks = {hit.doc_id: hit.lexical_rank for hit in lexical}
+                dense_ranks = {hit.doc_id: hit.dense_rank for hit in dense}
+                fused_hits = [
                     RetrievalHit(
                         doc_id=doc_id,
                         score=score,
@@ -161,7 +175,18 @@ class HybridRetriever:
                     )
                     for doc_id, score in fused[:k]
                 ]
-            )
+                lexical_contributions += sum(
+                    1 for hit in fused_hits if hit.lexical_rank is not None
+                )
+                dense_contributions += sum(
+                    1 for hit in fused_hits if hit.dense_rank is not None
+                )
+                fused_rankings.append(fused_hits)
+            hybrid_span.set_attribute("lexical_contributions", lexical_contributions)
+            hybrid_span.set_attribute("dense_contributions", dense_contributions)
+        _HYBRID_QUERIES.inc(len(queries))
+        _LEXICAL_CONTRIBUTIONS.inc(lexical_contributions)
+        _DENSE_CONTRIBUTIONS.inc(dense_contributions)
         return fused_rankings
 
     def _require_built(self) -> None:

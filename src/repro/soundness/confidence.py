@@ -22,6 +22,7 @@ from __future__ import annotations
 from dataclasses import dataclass, field
 
 from repro.errors import SoundnessError
+from repro.obs.trace import span
 
 #: Confidence assigned when verification explicitly fails.
 VERIFICATION_FAILURE_CONFIDENCE = 0.05
@@ -54,6 +55,19 @@ def fuse_confidence(
 
     At least one of ``self_reported`` / ``consistency`` must be given.
     """
+    with span("soundness.confidence.fuse") as fuse_span:
+        breakdown = _fuse(self_reported, consistency, grounding, verification_passed)
+        fuse_span.set_attribute("value", round(breakdown.value, 4))
+        fuse_span.set_attribute("parts", sorted(breakdown.parts))
+    return breakdown
+
+
+def _fuse(
+    self_reported: float | None,
+    consistency: float | None,
+    grounding: float | None,
+    verification_passed: bool | None,
+) -> ConfidenceBreakdown:
     parts: dict[str, float] = {}
     notes: list[str] = []
     if consistency is not None:

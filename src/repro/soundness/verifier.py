@@ -21,6 +21,8 @@ from dataclasses import dataclass, field
 
 from repro.errors import SoundnessError
 from repro.nl.constrained import SQLValidator
+from repro.obs.metrics import counter
+from repro.obs.trace import span
 from repro.sqldb import ast
 from repro.sqldb.database import Database, QueryResult
 from repro.sqldb.expressions import BoundColumn, ExpressionEvaluator, RowContext, RowLayout
@@ -53,11 +55,21 @@ class AnswerVerifier:
     def __init__(self, database: Database):
         self.database = database
         self._validator = SQLValidator(database.catalog)
+        self._passed = counter("soundness.verifier.passed")
+        self._failed = counter("soundness.verifier.failed")
 
     def verify(self, result: QueryResult, depth: str = "provenance") -> VerificationReport:
         """Verify ``result`` at the requested depth (depths are cumulative)."""
         if depth not in DEPTHS:
             raise SoundnessError(f"depth must be one of {DEPTHS}")
+        with span("soundness.verifier.verify", depth=depth) as verify_span:
+            report = self._verify_at_depth(result, depth)
+            verify_span.set_attribute("passed", report.passed)
+            verify_span.set_attribute("checks", len(report.checks_run))
+        (self._passed if report.passed else self._failed).inc()
+        return report
+
+    def _verify_at_depth(self, result: QueryResult, depth: str) -> VerificationReport:
         report = self._verify_static(result)
         if depth == "static" or not report.passed:
             return report

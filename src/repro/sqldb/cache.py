@@ -21,6 +21,7 @@ from collections import OrderedDict
 from dataclasses import dataclass
 
 from repro.errors import CDAError
+from repro.obs.metrics import counter
 from repro.sqldb import ast
 
 
@@ -37,6 +38,19 @@ class CacheStats:
         """Hits over lookups (0 when never used)."""
         total = self.hits + self.misses
         return self.hits / total if total else 0.0
+
+    def reset(self) -> None:
+        """Zero every counter."""
+        self.hits = self.misses = self.invalidations = 0
+
+    def snapshot(self) -> dict:
+        """The counters plus derived hit rate, as a plain dict."""
+        return {
+            "hits": self.hits,
+            "misses": self.misses,
+            "invalidations": self.invalidations,
+            "hit_rate": self.hit_rate,
+        }
 
 
 def referenced_tables(statement: ast.SelectStatement) -> list[str]:
@@ -58,9 +72,19 @@ class QueryCache:
         self.max_entries = max_entries
         self._entries: OrderedDict[tuple, tuple[tuple, object]] = OrderedDict()
         self.stats = CacheStats()
+        # Registry handles are fetched once here; `MetricsRegistry.reset()`
+        # zeroes metrics in place, so these stay valid across test resets.
+        self._metric_hits = counter("sqldb.cache.hits")
+        self._metric_misses = counter("sqldb.cache.misses")
+        self._metric_invalidations = counter("sqldb.cache.invalidations")
 
     def __len__(self) -> int:
         return len(self._entries)
+
+    @property
+    def hit_rate(self) -> float:
+        """Hits over lookups (0 when never used)."""
+        return self.stats.hit_rate
 
     def _versions(self, statement: ast.SelectStatement, catalog) -> tuple:
         return tuple(
@@ -79,6 +103,7 @@ class QueryCache:
         entry = self._entries.get(key)
         if entry is None:
             self.stats.misses += 1
+            self._metric_misses.inc()
             return None
         versions, result = entry
         try:
@@ -89,9 +114,12 @@ class QueryCache:
             del self._entries[key]
             self.stats.invalidations += 1
             self.stats.misses += 1
+            self._metric_invalidations.inc()
+            self._metric_misses.inc()
             return None
         self._entries.move_to_end(key)
         self.stats.hits += 1
+        self._metric_hits.inc()
         return result
 
     def put(
@@ -104,6 +132,8 @@ class QueryCache:
         while len(self._entries) > self.max_entries:
             self._entries.popitem(last=False)
 
-    def clear(self) -> None:
-        """Drop every entry (stats are kept)."""
+    def clear(self, reset_stats: bool = False) -> None:
+        """Drop every entry (stats are kept unless ``reset_stats``)."""
         self._entries.clear()
+        if reset_stats:
+            self.stats.reset()

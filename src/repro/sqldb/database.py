@@ -15,6 +15,8 @@ from dataclasses import dataclass, field
 from pathlib import Path
 
 from repro.errors import ExecutionError
+from repro.obs.metrics import counter, histogram
+from repro.obs.trace import span
 from repro.provenance.semiring import Polynomial
 from repro.sqldb import ast
 from repro.sqldb.catalog import Catalog
@@ -106,6 +108,9 @@ class Database:
         self.capture_how = capture_how
         self.optimize = optimize
         self.stats = QueryStats()
+        self._metric_queries = counter("sqldb.executor.queries")
+        self._metric_rows_scanned = counter("sqldb.executor.rows_scanned")
+        self._metric_seconds = histogram("sqldb.executor.seconds")
         self.cache = None
         if cache_size is not None:
             from repro.sqldb.cache import QueryCache
@@ -193,7 +198,9 @@ class Database:
         # without how-polynomials must not satisfy a lookup that needs them.
         cache_flags = (self.capture_lineage, self.capture_how)
         if self.cache is not None:
-            cached = self.cache.get(statement, self.catalog, flags=cache_flags)
+            with span("sqldb.cache.lookup") as cache_span:
+                cached = self.cache.get(statement, self.catalog, flags=cache_flags)
+                cache_span.set_attribute("hit", cached is not None)
             if cached is not None:
                 self.stats.queries_executed += 1
                 return _copy_result(cached)
@@ -203,12 +210,18 @@ class Database:
             capture_how=self.capture_how,
             optimize=self.optimize,
         )
-        started = time.perf_counter()
-        result = executor.execute(statement)
-        elapsed = time.perf_counter() - started
+        with span("sqldb.executor.execute", optimized=self.optimize) as exec_span:
+            started = time.perf_counter()
+            result = executor.execute(statement)
+            elapsed = time.perf_counter() - started
+            exec_span.set_attribute("rows", len(result.rows))
+            exec_span.set_attribute("scanned_rows", result.scanned_rows)
         self.stats.queries_executed += 1
         self.stats.total_elapsed_seconds += elapsed
         self.stats.total_scanned_rows += result.scanned_rows
+        self._metric_queries.inc()
+        self._metric_rows_scanned.inc(result.scanned_rows)
+        self._metric_seconds.observe(elapsed)
         query_result = QueryResult(
             columns=result.columns,
             rows=result.rows,

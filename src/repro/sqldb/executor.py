@@ -33,6 +33,8 @@ import itertools
 from dataclasses import dataclass
 
 from repro.errors import ExecutionError
+from repro.obs.metrics import counter
+from repro.obs.trace import current_span
 from repro.provenance.semiring import Polynomial, row_variable
 from repro.sqldb import ast
 from repro.sqldb.aggregates import make_aggregator
@@ -50,6 +52,11 @@ from repro.sqldb.types import SQLValue
 
 #: A where-lineage set: base rows as (table_name, row_id) pairs.
 Lineage = frozenset[tuple[str, int]]
+
+# Plan-choice tallies (handles cached at import; registry resets in place).
+_PLANS = counter("sqldb.planner.plans")
+_PUSHED_CONJUNCTS = counter("sqldb.planner.pushed_conjuncts")
+_HASH_JOINS = counter("sqldb.planner.hash_joins")
 
 EMPTY_LINEAGE: Lineage = frozenset()
 
@@ -282,6 +289,14 @@ class SelectExecutor:
         self._subquery_cache = {}
         if self._optimize:
             plan = plan_select(statement, self._catalog)
+            hash_joins = sum(1 for join in plan.joins if join.is_hash_join)
+            _PLANS.inc()
+            _PUSHED_CONJUNCTS.inc(plan.pushed_conjuncts)
+            _HASH_JOINS.inc(hash_joins)
+            active = current_span()
+            if active.recording:
+                active.set_attribute("pushed_conjuncts", plan.pushed_conjuncts)
+                active.set_attribute("hash_joins", hash_joins)
             relation = self._build_from_plan(plan)
             residual_where = plan.where
         else:

@@ -14,8 +14,16 @@ from dataclasses import dataclass, field
 import numpy as np
 
 from repro.errors import DimensionMismatchError, IndexNotBuiltError
+from repro.obs.metrics import counter
+from repro.obs.trace import span
 from repro.vector.dataset import VectorDataset
 from repro.vector.distance import Metric, stable_top_k
+
+# Work counters aggregated across every index (SearchResult keeps the
+# per-query values; these fold them into the unified registry).
+_SEARCHES = counter("vector.index.searches")
+_DISTANCE_COMPUTATIONS = counter("vector.index.distance_computations")
+_CANDIDATES_VISITED = counter("vector.index.candidates_visited")
 
 
 @dataclass
@@ -81,7 +89,18 @@ class VectorIndex:
         if k <= 0:
             raise ValueError("k must be positive")
         k = min(k, len(dataset))
-        return self._search(query, k)
+        with span("vector.index.search", index=self.name, k=k) as search_span:
+            result = self._search(query, k)
+            search_span.set_attribute(
+                "distance_computations", result.distance_computations
+            )
+            search_span.set_attribute(
+                "candidates_visited", result.candidates_visited
+            )
+        _SEARCHES.inc()
+        _DISTANCE_COMPUTATIONS.inc(result.distance_computations)
+        _CANDIDATES_VISITED.inc(result.candidates_visited)
+        return result
 
     def _search(self, query: np.ndarray, k: int) -> SearchResult:
         raise NotImplementedError
@@ -107,7 +126,24 @@ class VectorIndex:
         k = min(k, len(dataset))
         if len(queries) == 0:
             return []
-        return self._search_batch(queries, k)
+        with span(
+            "vector.index.search_batch", index=self.name, k=k, queries=len(queries)
+        ) as batch_span:
+            results = self._search_batch(queries, k)
+            distance_computations = sum(
+                result.distance_computations for result in results
+            )
+            candidates_visited = sum(
+                result.candidates_visited for result in results
+            )
+            batch_span.set_attribute(
+                "distance_computations", distance_computations
+            )
+            batch_span.set_attribute("candidates_visited", candidates_visited)
+        _SEARCHES.inc(len(results))
+        _DISTANCE_COMPUTATIONS.inc(distance_computations)
+        _CANDIDATES_VISITED.inc(candidates_visited)
+        return results
 
     def _search_batch(self, queries: np.ndarray, k: int) -> list[SearchResult]:
         return [self._search(query, k) for query in queries]
