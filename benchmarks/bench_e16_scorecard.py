@@ -1,0 +1,197 @@
+"""E16 — telemetry pipeline: sketch accuracy, scorecard cost, exporters.
+
+The PR-4 telemetry pipeline is only worth keeping always-on if its three
+moving parts are cheap and honest.  This benchmark measures:
+
+* **sketch accuracy** — quantile estimates from the log-bucketed
+  :class:`~repro.obs.sketch.QuantileSketch` against exact quantiles on
+  1e5 observations from a heavy-tailed latency-like distribution (the
+  acceptance criterion: every estimate within 2% relative error), plus
+  observation throughput and the sketch's bucket footprint;
+* **scorecard cost** — :func:`~repro.obs.scorecard.build_scorecard`
+  over the registry a real conversational workload populated, expressed
+  both in µs per card and as a fraction of a mean engine turn (the
+  overhead a deployment pays to judge itself after every turn);
+* **export throughput** — Prometheus text exposition renders per second
+  (with the registry the workload left behind) and Chrome trace-event
+  documents serialised per second for a real ``engine.ask`` span tree.
+
+``E16_SCALE`` scales iteration counts (CI smoke uses 0.1; bounds are
+only asserted at full scale).
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import random
+import time
+from pathlib import Path
+
+from conftest import format_table, write_results
+from repro.core import CDAEngine, ReliabilityConfig
+from repro.datasets import build_swiss_labour_registry
+from repro.obs import QuantileSketch, build_scorecard, chrome_trace_json, to_prometheus
+
+SCALE = float(os.environ.get("E16_SCALE", "1.0"))
+#: Timing noise dominates small runs; only full scale asserts the bounds.
+ASSERT_BOUNDS = SCALE >= 1.0
+
+RESULTS_DIR = Path(__file__).parent / "results"
+
+QUESTIONS = (
+    "how many employees are there",
+    "how many cantons are there",
+    "what is the average salary by canton",
+    "what data do you have about employment",
+    "employment",  # resolves the discovery turn's clarification
+)
+
+QS = (0.25, 0.5, 0.75, 0.9, 0.95, 0.99)
+
+
+def _scaled(n: int) -> int:
+    return max(5, int(n * SCALE))
+
+
+def _exact_quantile(sorted_values: list[float], q: float) -> float:
+    rank = min(int(q * (len(sorted_values) - 1)), len(sorted_values) - 1)
+    return sorted_values[rank]
+
+
+def _sketch_accuracy(n_observations: int) -> dict:
+    """Max relative error over QS plus observe throughput."""
+    rng = random.Random(16)
+    values = [rng.lognormvariate(-3.0, 1.2) for _ in range(n_observations)]
+    sketch = QuantileSketch(relative_accuracy=0.01)
+    started = time.perf_counter()
+    for value in values:
+        sketch.observe(value)
+    observe_seconds = time.perf_counter() - started
+    values.sort()
+    errors = {}
+    for q in QS:
+        exact = _exact_quantile(values, q)
+        estimate = sketch.quantile(q)
+        errors[f"p{int(q * 100)}"] = abs(estimate - exact) / exact
+    return {
+        "observations": n_observations,
+        "max_rel_err": max(errors.values()),
+        "per_quantile_rel_err": {k: round(v, 6) for k, v in errors.items()},
+        "observe_per_second": n_observations / observe_seconds,
+        "bucket_count": len(sketch.to_dict()["positive"]),
+    }
+
+
+def _conversational_workload(rounds: int) -> tuple[CDAEngine, float, object]:
+    """Run the workload; mean seconds per turn and one traced answer."""
+    domain = build_swiss_labour_registry(seed=3)
+    engine = CDAEngine(
+        domain.registry, domain.vocabulary, config=ReliabilityConfig(tracing=True)
+    )
+    traced = engine.ask(QUESTIONS[0])  # warm + keep one trace to export
+    started = time.perf_counter()
+    turns = 0
+    for _ in range(rounds):
+        for question in QUESTIONS:
+            engine.ask(question)
+            turns += 1
+    per_turn = (time.perf_counter() - started) / turns
+    return engine, per_turn, traced
+
+
+def _per_call_seconds(fn, iterations: int) -> float:
+    started = time.perf_counter()
+    for _ in range(iterations):
+        fn()
+    return (time.perf_counter() - started) / iterations
+
+
+def test_e16_scorecard_pipeline(benchmark):
+    sketch_stats = _sketch_accuracy(_scaled(100_000))
+
+    engine, per_turn_seconds, traced = _conversational_workload(_scaled(10))
+    session = engine.session.snapshot()
+
+    iterations = _scaled(300)
+    scorecard_seconds = _per_call_seconds(
+        lambda: build_scorecard(session), iterations
+    )
+    card = build_scorecard(session)
+    assert len(card.verdicts) == 5
+
+    exposition = to_prometheus()
+    prometheus_seconds = _per_call_seconds(to_prometheus, iterations)
+    trace_seconds = _per_call_seconds(
+        lambda: chrome_trace_json(traced.trace), iterations
+    )
+
+    overhead_per_turn = scorecard_seconds / per_turn_seconds
+    payload = {
+        "experiment": "E16",
+        "scale": SCALE,
+        "bounds_asserted": ASSERT_BOUNDS,
+        "sketch": {
+            **{
+                k: (round(v, 6) if isinstance(v, float) else v)
+                for k, v in sketch_stats.items()
+            },
+            "observe_per_second": round(sketch_stats["observe_per_second"]),
+        },
+        "sketch_max_rel_err": round(sketch_stats["max_rel_err"], 6),
+        "scorecard_us": round(scorecard_seconds * 1e6, 2),
+        "scorecard_overhead_per_turn": round(overhead_per_turn, 6),
+        "per_turn_us": round(per_turn_seconds * 1e6, 2),
+        "prometheus_bytes": len(exposition),
+        "prometheus_per_second": round(1.0 / prometheus_seconds, 1),
+        "trace_export_per_second": round(1.0 / trace_seconds, 1),
+        "scorecard_status": card.status,
+    }
+    RESULTS_DIR.mkdir(exist_ok=True)
+    with open(
+        RESULTS_DIR / "BENCH_scorecard.json", "w", encoding="utf-8"
+    ) as handle:
+        json.dump(payload, handle, indent=2)
+
+    write_results(
+        "e16_scorecard",
+        format_table(
+            ["measure", "value"],
+            [
+                [
+                    "sketch max rel error",
+                    f"{sketch_stats['max_rel_err'] * 100:.3f} % "
+                    f"({sketch_stats['observations']} obs)",
+                ],
+                [
+                    "sketch observe rate",
+                    f"{sketch_stats['observe_per_second'] / 1e6:.2f} Mobs/s",
+                ],
+                ["sketch buckets", f"{sketch_stats['bucket_count']}"],
+                ["scorecard build", f"{scorecard_seconds * 1e6:.1f} us"],
+                [
+                    "scorecard / turn",
+                    f"{overhead_per_turn * 100:.2f} % of a "
+                    f"{per_turn_seconds * 1e6:.0f} us turn",
+                ],
+                [
+                    "prometheus export",
+                    f"{1.0 / prometheus_seconds:.0f} /s "
+                    f"({len(exposition)} bytes)",
+                ],
+                ["chrome trace export", f"{1.0 / trace_seconds:.0f} /s"],
+                ["scorecard status", card.status],
+            ],
+            title=f"E16: telemetry pipeline (scale={SCALE})",
+        ),
+    )
+
+    # Timed kernel: judge one session from live metrics.
+    benchmark(lambda: build_scorecard(session))
+
+    if ASSERT_BOUNDS:
+        # The acceptance bound, plus loose cost ceilings for noisy CI.
+        assert sketch_stats["max_rel_err"] <= 0.02, sketch_stats
+        assert scorecard_seconds < 5e-3, scorecard_seconds
+        assert overhead_per_turn < 0.5, overhead_per_turn
+        assert prometheus_seconds < 0.1 and trace_seconds < 0.1

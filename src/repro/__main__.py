@@ -8,8 +8,12 @@ Converse with one of the bundled synthetic domains::
 Interactive mode reads questions from stdin until EOF/empty line;
 ``--ask`` answers one question and exits (script-friendly).  Annotations
 (confidence, sources, suggestions) are printed with every answer,
-``--show-sql`` / ``--show-explanation`` expose the P3 artefacts, and
-``--trace`` prints the per-turn span tree (the observability layer).
+``--show-sql`` / ``--show-explanation`` expose the P3 artefacts,
+``--trace`` prints the per-turn span tree, ``--scorecard`` prints the
+session's P1–P5 reliability verdicts at exit, ``--prometheus`` dumps
+the metrics registry in Prometheus exposition format, and
+``--export-trace PATH`` writes the last traced turn as Chrome
+trace-event JSON (open it in Perfetto / ``chrome://tracing``).
 """
 
 from __future__ import annotations
@@ -53,8 +57,9 @@ def build_engine(domain: str, llm_error_rate: float | None) -> CDAEngine:
     )
 
 
-def answer_and_print(engine: CDAEngine, question: str, args) -> None:
-    """Ask one question and print the annotated answer."""
+def answer_and_print(engine: CDAEngine, question: str, args):
+    """Ask one question and print the annotated answer (returned for
+    the exit-time exporters)."""
     answer = engine.ask(question)
     print(f"[{answer.kind.value}]")
     print(answer.render())
@@ -66,6 +71,26 @@ def answer_and_print(engine: CDAEngine, question: str, args) -> None:
         from repro.obs import render_text
 
         print(render_text(answer.trace))
+    return answer
+
+
+def epilogue(engine: CDAEngine, args, last_answer=None) -> None:
+    """Exit-time telemetry exports: scorecard, Prometheus, trace JSON."""
+    if args.scorecard:
+        print(engine.scorecard().render_text())
+    if args.prometheus:
+        from repro.obs import to_prometheus
+
+        print(to_prometheus(), end="")
+    if args.export_trace:
+        if last_answer is None or last_answer.trace is None:
+            print("no traced turn to export (is tracing enabled?)")
+        else:
+            from repro.obs import chrome_trace_json
+
+            with open(args.export_trace, "w", encoding="utf-8") as handle:
+                handle.write(chrome_trace_json(last_answer.trace, indent=2))
+            print(f"trace written to {args.export_trace}")
 
 
 def main(argv: list[str] | None = None) -> int:
@@ -94,19 +119,34 @@ def main(argv: list[str] | None = None) -> int:
         help="print the per-turn span tree after each answer",
     )
     parser.add_argument(
+        "--scorecard", action="store_true",
+        help="print the session's P1-P5 reliability scorecard at exit",
+    )
+    parser.add_argument(
+        "--prometheus", action="store_true",
+        help="print the metrics registry in Prometheus exposition format at exit",
+    )
+    parser.add_argument(
+        "--export-trace", metavar="PATH", default=None,
+        help="write the last traced turn as Chrome trace-event JSON "
+        "(Perfetto-loadable)",
+    )
+    parser.add_argument(
         "--llm-error-rate", type=float, default=None, metavar="EPS",
         help="attach a simulated LLM fallback with this hallucination rate",
     )
     args = parser.parse_args(argv)
     engine = build_engine(args.domain, args.llm_error_rate)
     if args.ask is not None:
-        answer_and_print(engine, args.ask, args)
+        answer = answer_and_print(engine, args.ask, args)
+        epilogue(engine, args, answer)
         return 0
     print(
         f"Connected to the {args.domain!r} domain "
         f"({len(engine.registry.sources())} data sources). "
         "Ask a question, or press Enter on an empty line to quit."
     )
+    last_answer = None
     while True:
         try:
             line = input("you> ").strip()
@@ -114,7 +154,7 @@ def main(argv: list[str] | None = None) -> int:
             break
         if not line:
             break
-        answer_and_print(engine, line, args)
+        last_answer = answer_and_print(engine, line, args)
     summary = engine.session.snapshot()
     print(
         f"session: {summary['questions_asked']} questions, "
@@ -122,6 +162,7 @@ def main(argv: list[str] | None = None) -> int:
         f"{summary['abstentions']} abstained, "
         f"{summary['clarifications_asked']} clarifications"
     )
+    epilogue(engine, args, last_answer)
     return 0
 
 

@@ -12,6 +12,7 @@ from dataclasses import dataclass, field
 
 from repro.guidance.clarification import ClarificationMode
 from repro.nl.nl2sql import GroundingConfig
+from repro.obs.scorecard import SLOThresholds
 
 
 @dataclass
@@ -46,6 +47,9 @@ class ReliabilityConfig:
     #: instrumented call site degenerates to a shared no-op (near-zero
     #: overhead, measured by benchmark E15).
     tracing: bool = True
+    #: Service-level objectives the reliability scorecard judges the
+    #: session against (``Session.scorecard()`` / ``--scorecard``).
+    slo: SLOThresholds = field(default_factory=SLOThresholds)
 
     # P4 Soundness ------------------------------------------------------------------
     #: Verification depth: "none" | "static" | "reexecution" | "provenance".

@@ -10,9 +10,13 @@ switchable through :class:`~repro.core.config.ReliabilityConfig`.
 
 from __future__ import annotations
 
+from time import perf_counter
+
 from repro.core.answer import Answer, AnswerKind
 from repro.core.config import ReliabilityConfig
 from repro.core.session import Session
+from repro.obs.events import emit
+from repro.obs.metrics import counter, histogram
 from repro.obs.trace import span, start_trace
 from repro.datasets.registry import DataSourceRegistry
 from repro.errors import (
@@ -44,6 +48,19 @@ from repro.sqldb.types import ColumnType
 from repro.analytics.seasonality import detect_seasonality
 from repro.analytics.timeseries import InsufficientDataError, decompose
 from repro.analytics.outliers import iqr_outliers
+
+# Turn-level telemetry handles (registry reset zeroes these in place).
+# ``*.latency`` names auto-attach the quantile sketch, so the scorecard's
+# p50/p95 stay relative-error-bounded at any traffic volume.
+_TURN_LATENCY = histogram("core.engine.turn.latency")
+_CONFIDENCE = histogram(
+    "core.engine.confidence",
+    buckets=(0.1, 0.2, 0.3, 0.4, 0.5, 0.6, 0.7, 0.8, 0.9, 1.0),
+)
+_DATA_ANSWERS = counter("core.engine.data_answers")
+_EXPLAINED_ANSWERS = counter("core.engine.explained_answers")
+_SUGGESTIONS_OFFERED = counter("guidance.suggestions.offered")
+_CLARIFICATIONS_RESOLVED = counter("guidance.clarifications.resolved")
 
 
 class CDAEngine:
@@ -102,8 +119,11 @@ class CDAEngine:
         ``answer.trace`` — the system-side provenance of the answer
         itself (which stages ran, where the time and confidence went).
         """
+        started = perf_counter()
         if not self.config.tracing:
-            return self._ask(text, llm_gold_sql)
+            answer = self._ask(text, llm_gold_sql)
+            self._record_turn(answer, perf_counter() - started, root=None)
+            return answer
         with start_trace("engine.ask", question=text) as root:
             answer = self._ask(text, llm_gold_sql)
             root.set_attribute("answer.kind", answer.kind.value)
@@ -112,7 +132,41 @@ class CDAEngine:
                     "answer.confidence", round(answer.confidence.value, 4)
                 )
         answer.trace = root
+        self._record_turn(answer, perf_counter() - started, root)
         return answer
+
+    def _record_turn(self, answer: Answer, seconds: float, root) -> None:
+        """Fold one finished turn into the telemetry pipeline: the turn
+        latency sketch, per-stage latency histograms (when traced), the
+        fused-confidence distribution, and the event log."""
+        _TURN_LATENCY.observe(seconds)
+        if answer.confidence is not None:
+            _CONFIDENCE.observe(answer.confidence.value)
+        emit(
+            "engine.turn",
+            kind=answer.kind.value,
+            seconds=round(seconds, 6),
+        )
+        if root is not None:
+            for stage in root.children:
+                histogram(f"core.stage.{stage.name}.latency").observe(
+                    stage.duration_seconds
+                )
+                emit(
+                    "engine.stage",
+                    severity="debug",
+                    stage=stage.name,
+                    status=stage.status,
+                    ms=round(stage.duration_ms, 3),
+                )
+
+    def scorecard(self, thresholds=None):
+        """This session's P1–P5 reliability verdicts (see
+        :mod:`repro.obs.scorecard`); thresholds default to
+        ``config.slo``."""
+        return self.session.scorecard(
+            thresholds if thresholds is not None else self.config.slo
+        )
 
     def _ask(self, text: str, llm_gold_sql: str | None) -> Answer:
         """The untraced turn pipeline (see :meth:`ask`)."""
@@ -170,6 +224,8 @@ class CDAEngine:
         pending = self.session.close_clarification()
         assert pending is not None
         chosen = self.clarification.resolve_reply(reply, pending.question)
+        if chosen is not None:
+            _CLARIFICATIONS_RESOLVED.inc()
         if chosen is None:
             answer = Answer(
                 kind=AnswerKind.CLARIFICATION,
@@ -265,6 +321,7 @@ class CDAEngine:
             if self.config.offer_suggestions
             else []
         )
+        _SUGGESTIONS_OFFERED.inc(len(suggestions))
         answer = Answer(
             kind=AnswerKind.METADATA,
             text="\n".join(lines),
@@ -822,6 +879,9 @@ class CDAEngine:
             explanation = self.explainer.from_query_result(
                 result, question=text, grounding_notes=grounding_notes
             )
+        _DATA_ANSWERS.inc()
+        if explanation is not None:
+            _EXPLAINED_ANSWERS.inc()
         suggestions = []
         focus = query_intent.table if query_intent is not None else None
         if focus is not None:
@@ -836,6 +896,7 @@ class CDAEngine:
                 self.session.used_group_columns,
                 max_suggestions=1,
             )
+            _SUGGESTIONS_OFFERED.inc(len(suggestions))
         self.session.tracker.record(
             component="sqldb",
             kind=ProvenanceNodeKind.QUERY,

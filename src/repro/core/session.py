@@ -14,6 +14,7 @@ from dataclasses import dataclass, field
 from repro.guidance.clarification import ClarificationQuestion
 from repro.guidance.conversation_graph import ConversationGraph, TurnKind
 from repro.guidance.profiling import UserProfiler
+from repro.obs.events import emit
 from repro.obs.metrics import counter
 from repro.provenance.tracker import ProvenanceTracker
 
@@ -81,9 +82,16 @@ class Session:
         elif kind is TurnKind.ABSTENTION:
             self.abstentions += 1
             counter("core.session.abstentions").inc()
+            emit(
+                "engine.abstention",
+                severity="warning",
+                turn=turn.turn_id,
+                confidence=confidence,
+            )
         elif kind is TurnKind.CLARIFICATION_REQUEST:
             self.clarifications_asked += 1
             counter("core.session.clarifications").inc()
+            emit("guidance.clarification", turn=turn.turn_id)
         return turn.turn_id
 
     def snapshot(self) -> dict:
@@ -97,6 +105,14 @@ class Session:
             "focus_table": self.focus_table,
             "pending_clarification": self.pending_clarification is not None,
         }
+
+    def scorecard(self, thresholds=None):
+        """This session's reliability scorecard: the global metrics
+        registry judged against the SLO thresholds, property by property
+        (see :mod:`repro.obs.scorecard`)."""
+        from repro.obs.scorecard import build_scorecard
+
+        return build_scorecard(self.snapshot(), thresholds=thresholds)
 
     @property
     def expecting_clarification_reply(self) -> bool:

@@ -27,12 +27,23 @@ import re
 from dataclasses import dataclass, field
 
 from repro.errors import AmbiguousQuestionError, TranslationError
+from repro.obs.metrics import counter, histogram
 from repro.obs.trace import span
 from repro.kg.schema_kg import SchemaKnowledgeGraph
 from repro.kg.vocabulary import DomainVocabulary
 from repro.nl.grammar import AggregateSpec, FilterSpec, OrderSpec, QueryIntent
 from repro.nl.sqlgen import compile_intent
 from repro.vector.embedding import tokenize_text
+
+# P2 coverage tallies: attempts vs committed groundings (failures raise
+# before the success counter), plus the committed confidence distribution
+# — the scorecard's grounding verdict reads exactly these.
+_GROUND_ATTEMPTS = counter("nl.ground.attempts")
+_GROUND_SUCCESSES = counter("nl.ground.grounded")
+_GROUND_CONFIDENCE = histogram(
+    "nl.ground.confidence",
+    buckets=(0.1, 0.2, 0.3, 0.4, 0.5, 0.6, 0.7, 0.8, 0.9, 1.0),
+)
 
 _NUMBER_WORDS = {
     "one": 1, "two": 2, "three": 3, "four": 4, "five": 5,
@@ -133,6 +144,7 @@ class GroundedSemanticParser:
         stages: ``nl.nl2sql.ground`` (question → logical form, the P2
         work) and ``nl.nl2sql.translate`` (logical form → SQL).
         """
+        _GROUND_ATTEMPTS.inc()
         with span("nl.nl2sql.ground") as ground_span:
             intent, notes, scores = self._ground(question, preferred_table)
             ground_span.set_attribute("table", intent.table)
@@ -141,6 +153,8 @@ class GroundedSemanticParser:
             sql = compile_intent(intent).to_sql()
             translate_span.set_attribute("sql", sql)
         confidence = min(scores) if scores else 0.5
+        _GROUND_SUCCESSES.inc()
+        _GROUND_CONFIDENCE.observe(confidence)
         return ParseOutcome(
             intent=intent, sql=sql, confidence=confidence, grounding_notes=notes
         )

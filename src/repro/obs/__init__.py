@@ -1,10 +1,15 @@
-"""Observability layer: per-turn tracing + unified metrics registry.
+"""Observability layer: tracing, metrics, events, verdicts, exporters.
 
-The first cross-cutting layer of the reproduction: every other package
+The cross-cutting layer of the reproduction: every other package
 reports *into* it (spans via :mod:`repro.obs.trace`, tallies via
-:mod:`repro.obs.metrics`) and the engine exports *out of* it
-(:mod:`repro.obs.export` renders a turn trace as JSON or text, attached
-to each :class:`~repro.core.answer.Answer` as ``answer.trace``).
+:mod:`repro.obs.metrics`, occurrences via :mod:`repro.obs.events`) and
+the engine exports *out of* it — a turn trace as JSON/text
+(:mod:`repro.obs.export`) or Chrome trace-event JSON, the registry as
+Prometheus exposition (:mod:`repro.obs.exporters`), and the whole
+session as P1–P5 reliability verdicts (:mod:`repro.obs.scorecard`).
+Latency histograms carry a mergeable relative-error-bounded quantile
+sketch (:mod:`repro.obs.sketch`) so tail percentiles stay accurate at
+any scale.
 
 Dependency-free by design — stdlib only — so any layer can import it
 without cycles, and disabled instrumentation costs one no-op call.
@@ -21,6 +26,14 @@ from repro.obs.metrics import (
     get_registry,
     histogram,
 )
+from repro.obs.sketch import QuantileSketch
+from repro.obs.events import (
+    Event,
+    EventLog,
+    SEVERITIES,
+    emit,
+    get_event_log,
+)
 from repro.obs.export import (
     from_dict,
     from_json,
@@ -28,6 +41,19 @@ from repro.obs.export import (
     stage_timings,
     to_dict,
     to_json,
+)
+from repro.obs.exporters import (
+    chrome_trace_json,
+    sanitize_metric_name,
+    to_chrome_trace,
+    to_prometheus,
+)
+from repro.obs.scorecard import (
+    CheckResult,
+    PropertyVerdict,
+    Scorecard,
+    SLOThresholds,
+    build_scorecard,
 )
 
 __all__ = [
@@ -44,10 +70,25 @@ __all__ = [
     "counter",
     "gauge",
     "histogram",
+    "QuantileSketch",
+    "Event",
+    "EventLog",
+    "SEVERITIES",
+    "emit",
+    "get_event_log",
     "to_dict",
     "from_dict",
     "to_json",
     "from_json",
     "render_text",
     "stage_timings",
+    "to_prometheus",
+    "to_chrome_trace",
+    "chrome_trace_json",
+    "sanitize_metric_name",
+    "SLOThresholds",
+    "CheckResult",
+    "PropertyVerdict",
+    "Scorecard",
+    "build_scorecard",
 ]

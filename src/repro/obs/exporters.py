@@ -1,0 +1,153 @@
+"""Standard-format exporters: Prometheus exposition + Chrome trace JSON.
+
+Internal telemetry earns its keep when external tooling can read it.
+Two lingua francas cover the metric and trace sides:
+
+* :func:`to_prometheus` renders the whole metrics registry in the
+  Prometheus text exposition format (version 0.0.4): sanitized metric
+  names, ``# TYPE`` headers, counters with the ``_total`` suffix, and
+  histograms expanded into the cumulative ``_bucket{le="..."}`` /
+  ``_sum`` / ``_count`` triplet — the exact shape a scrape endpoint
+  returns, so the registry can back one without translation;
+* :func:`to_chrome_trace` converts a span tree into the Chrome
+  trace-event format (``"X"`` complete events with microsecond
+  timestamps), loadable as-is in Perfetto (https://ui.perfetto.dev) or
+  ``chrome://tracing`` for flame-graph inspection of a turn.
+
+Both are pure functions over :mod:`repro.obs` objects — stdlib only,
+no servers or sockets here.
+"""
+
+from __future__ import annotations
+
+import json
+import re
+
+from repro.obs.export import _jsonable
+from repro.obs.metrics import (
+    Counter,
+    Gauge,
+    Histogram,
+    MetricsRegistry,
+    get_registry,
+)
+from repro.obs.trace import Span
+
+__all__ = [
+    "sanitize_metric_name",
+    "to_prometheus",
+    "to_chrome_trace",
+    "chrome_trace_json",
+]
+
+_INVALID_CHARS = re.compile(r"[^a-zA-Z0-9_:]")
+
+
+def sanitize_metric_name(name: str, namespace: str = "") -> str:
+    """``name`` as a valid Prometheus metric name.
+
+    Dots (our ``layer.component.metric`` scheme) and any other invalid
+    character become underscores; a leading digit gets a guard
+    underscore; ``namespace`` is prefixed when given.
+    """
+    sanitized = _INVALID_CHARS.sub("_", name)
+    if namespace:
+        sanitized = f"{namespace}_{sanitized}"
+    if not sanitized or sanitized[0].isdigit():
+        sanitized = "_" + sanitized
+    return sanitized
+
+
+def _format_value(value) -> str:
+    """A Prometheus-valid sample value (int kept exact, float via repr)."""
+    if isinstance(value, bool):
+        return "1" if value else "0"
+    if isinstance(value, int):
+        return str(value)
+    return repr(float(value))
+
+
+def to_prometheus(
+    registry: MetricsRegistry | None = None, namespace: str = "repro"
+) -> str:
+    """The registry in Prometheus text exposition format (0.0.4).
+
+    Counters gain the conventional ``_total`` suffix; histograms expand
+    to cumulative ``_bucket{le="..."}`` series (closed with
+    ``le="+Inf"``) plus ``_sum`` and ``_count``.  Output ends with the
+    required trailing newline and is ordered by metric name, so scrapes
+    diff cleanly.
+    """
+    registry = registry if registry is not None else get_registry()
+    lines: list[str] = []
+    for name in registry.names():
+        metric = registry.get(name)
+        base = sanitize_metric_name(name, namespace)
+        if isinstance(metric, Counter):
+            family = base if base.endswith("_total") else f"{base}_total"
+            lines.append(f"# HELP {family} {name}")
+            lines.append(f"# TYPE {family} counter")
+            lines.append(f"{family} {_format_value(metric.value)}")
+        elif isinstance(metric, Gauge):
+            lines.append(f"# HELP {base} {name}")
+            lines.append(f"# TYPE {base} gauge")
+            lines.append(f"{base} {_format_value(metric.value)}")
+        elif isinstance(metric, Histogram):
+            lines.append(f"# HELP {base} {name}")
+            lines.append(f"# TYPE {base} histogram")
+            cumulative = 0
+            for bound, bin_count in zip(metric.buckets, metric.counts):
+                cumulative += bin_count
+                lines.append(
+                    f'{base}_bucket{{le="{_format_value(float(bound))}"}} '
+                    f"{cumulative}"
+                )
+            lines.append(f'{base}_bucket{{le="+Inf"}} {metric.count}')
+            lines.append(f"{base}_sum {_format_value(metric.total)}")
+            lines.append(f"{base}_count {metric.count}")
+    return "\n".join(lines) + "\n"
+
+
+def to_chrome_trace(root: Span, pid: int = 1, tid: int = 1) -> dict:
+    """The span tree as a Chrome trace-event document.
+
+    Every span becomes one ``"X"`` (complete) event with ``ts``/``dur``
+    in microseconds, rebased so the root starts at 0.  Attributes,
+    status, and any error land in ``args`` where the Perfetto UI shows
+    them on selection.  The returned dict serialises directly to a
+    ``.json`` file both Perfetto and ``chrome://tracing`` open.
+    """
+    events: list[dict] = [
+        {
+            "ph": "M",
+            "name": "process_name",
+            "pid": pid,
+            "tid": tid,
+            "args": {"name": "repro"},
+        }
+    ]
+    origin_ns = root.start_ns
+    for node in root.iter_spans():
+        args: dict = {"status": node.status}
+        if node.error is not None:
+            args["error"] = node.error
+        for key, value in node.attributes.items():
+            args[str(key)] = _jsonable(value)
+        events.append(
+            {
+                "name": node.name,
+                "cat": node.name.split(".", 1)[0],
+                "ph": "X",
+                "ts": (node.start_ns - origin_ns) / 1e3,
+                "dur": node.duration_ns / 1e3,
+                "pid": pid,
+                "tid": tid,
+                "args": args,
+            }
+        )
+    return {"traceEvents": events, "displayTimeUnit": "ms"}
+
+
+def chrome_trace_json(root: Span, indent: int | None = None) -> str:
+    """:func:`to_chrome_trace` serialised as a JSON document."""
+    return json.dumps(to_chrome_trace(root), indent=indent)

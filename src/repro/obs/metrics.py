@@ -24,6 +24,8 @@ from __future__ import annotations
 
 import bisect
 
+from repro.obs.sketch import QuantileSketch
+
 __all__ = [
     "Counter",
     "Gauge",
@@ -58,6 +60,14 @@ class Counter:
     def snapshot(self):
         """The current value (plain int/float for JSON export)."""
         return self.value
+
+    def to_dict(self) -> dict:
+        """Full state (lossless, JSON-safe)."""
+        return {"kind": "counter", "value": self.value}
+
+    def restore(self, payload: dict) -> None:
+        """Inverse of :meth:`to_dict`, in place."""
+        self.value = payload["value"]
 
     def __repr__(self) -> str:
         return f"Counter({self.name!r}, {self.value})"
@@ -94,6 +104,14 @@ class Gauge:
         """The current value."""
         return self.value
 
+    def to_dict(self) -> dict:
+        """Full state (lossless, JSON-safe)."""
+        return {"kind": "gauge", "value": self.value}
+
+    def restore(self, payload: dict) -> None:
+        """Inverse of :meth:`to_dict`, in place."""
+        self.value = payload["value"]
+
     def __repr__(self) -> str:
         return f"Gauge({self.name!r}, {self.value})"
 
@@ -112,13 +130,28 @@ class Histogram:
     ``buckets`` are upper bounds (inclusive) of each bin, ascending; one
     implicit overflow bin catches everything larger.  Observation is a
     binary search over the bounds — no numpy, no allocation.
+
+    ``sketch`` attaches a relative-error-bounded
+    :class:`~repro.obs.sketch.QuantileSketch` backend: observations feed
+    both structures and :meth:`quantile` answers from the sketch (within
+    its accuracy bound at any scale) instead of by bucket interpolation.
+    Pass ``True`` for the default 1% accuracy or a float in (0, 1) to
+    choose it; latency metrics (``*.latency``) get the sketch
+    automatically from :meth:`MetricsRegistry.histogram`.
     """
 
-    __slots__ = ("name", "buckets", "counts", "count", "total", "min", "max")
+    __slots__ = (
+        "name", "buckets", "counts", "count", "total", "min", "max", "sketch",
+    )
 
     kind = "histogram"
 
-    def __init__(self, name: str, buckets: tuple[float, ...] | None = None):
+    def __init__(
+        self,
+        name: str,
+        buckets: tuple[float, ...] | None = None,
+        sketch: bool | float = False,
+    ):
         bounds = tuple(buckets) if buckets is not None else DEFAULT_BUCKETS
         if not bounds or list(bounds) != sorted(bounds):
             raise ValueError("histogram buckets must be ascending and non-empty")
@@ -129,6 +162,11 @@ class Histogram:
         self.total = 0.0
         self.min: float | None = None
         self.max: float | None = None
+        self.sketch: QuantileSketch | None = None
+        if sketch:
+            self.sketch = QuantileSketch(
+                sketch if isinstance(sketch, float) else 0.01
+            )
 
     def observe(self, value: float) -> None:
         """Record one observation."""
@@ -139,6 +177,8 @@ class Histogram:
             self.min = value
         if self.max is None or value > self.max:
             self.max = value
+        if self.sketch is not None:
+            self.sketch.observe(value)
 
     @property
     def mean(self) -> float:
@@ -146,21 +186,43 @@ class Histogram:
         return self.total / self.count if self.count else 0.0
 
     def quantile(self, q: float) -> float:
-        """Bucket-resolution quantile: the upper bound of the bin holding
-        the ``q``-th observation (``max`` for the overflow bin)."""
+        """The ``q``-quantile: sketch-accurate when a sketch backend is
+        attached, else linearly interpolated within the winning bucket.
+
+        The interpolated estimate is clamped to the observed
+        ``[min, max]`` range and is monotone non-decreasing in ``q``.
+        """
         if not (0.0 <= q <= 1.0):
             raise ValueError("q must be in [0, 1]")
         if self.count == 0:
             return 0.0
+        if self.sketch is not None:
+            return self.sketch.quantile(q)
         target = q * self.count
         running = 0
+        estimate = self.max if self.max is not None else 0.0
         for index, bin_count in enumerate(self.counts):
-            running += bin_count
-            if running >= target:
+            if running + bin_count >= target:
+                if index == 0:
+                    lower = self.min if self.min is not None else 0.0
+                else:
+                    lower = self.buckets[index - 1]
                 if index < len(self.buckets):
-                    return self.buckets[index]
-                return self.max if self.max is not None else 0.0
-        return self.max if self.max is not None else 0.0
+                    upper = self.buckets[index]
+                else:  # overflow bin: bounded above by the observed max
+                    upper = self.max if self.max is not None else lower
+                fraction = (target - running) / bin_count if bin_count else 0.0
+                fraction = min(max(fraction, 0.0), 1.0)
+                estimate = lower + (upper - lower) * fraction
+                break
+            running += bin_count
+        # Clamp into the observed range: bucket bounds can overshoot the
+        # data actually seen (e.g. every value in one wide bin).
+        if self.min is not None:
+            estimate = max(estimate, self.min)
+        if self.max is not None:
+            estimate = min(estimate, self.max)
+        return estimate
 
     def reset(self) -> None:
         """Zero all bins and stats in place."""
@@ -169,10 +231,12 @@ class Histogram:
         self.total = 0.0
         self.min = None
         self.max = None
+        if self.sketch is not None:
+            self.sketch.reset()
 
     def snapshot(self) -> dict:
         """Summary dict (JSON-ready)."""
-        return {
+        summary = {
             "count": self.count,
             "sum": self.total,
             "mean": self.mean,
@@ -185,6 +249,40 @@ class Histogram:
             },
             "overflow": self.counts[-1],
         }
+        if self.sketch is not None and self.count:
+            summary["quantiles"] = self.sketch.quantiles()
+        return summary
+
+    def to_dict(self) -> dict:
+        """Full state (lossless, JSON-safe) — unlike :meth:`snapshot`,
+        which summarises."""
+        payload: dict = {
+            "kind": "histogram",
+            "buckets": list(self.buckets),
+            "counts": list(self.counts),
+            "count": self.count,
+            "sum": self.total,
+            "min": self.min,
+            "max": self.max,
+        }
+        if self.sketch is not None:
+            payload["sketch"] = self.sketch.to_dict()
+        return payload
+
+    def restore(self, payload: dict) -> None:
+        """Inverse of :meth:`to_dict`, in place (bucket bounds included)."""
+        self.buckets = tuple(payload["buckets"])
+        self.counts = list(payload["counts"])
+        self.count = payload["count"]
+        self.total = payload["sum"]
+        self.min = payload["min"]
+        self.max = payload["max"]
+        sketch_state = payload.get("sketch")
+        self.sketch = (
+            QuantileSketch.from_dict(sketch_state)
+            if sketch_state is not None
+            else None
+        )
 
     def __repr__(self) -> str:
         return f"Histogram({self.name!r}, n={self.count}, mean={self.mean:.4g})"
@@ -222,14 +320,24 @@ class MetricsRegistry:
         return self._get_or_create(name, lambda: Gauge(name), "gauge")
 
     def histogram(
-        self, name: str, buckets: tuple[float, ...] | None = None
+        self,
+        name: str,
+        buckets: tuple[float, ...] | None = None,
+        sketch: bool | float | None = None,
     ) -> Histogram:
         """The histogram named ``name`` (created on first use).
 
-        ``buckets`` only applies at creation; later callers share the
-        original binning.
+        ``buckets`` and ``sketch`` only apply at creation; later callers
+        share the original configuration.  ``sketch=None`` (the default)
+        auto-attaches the quantile-sketch backend to latency metrics —
+        any name ending in ``.latency`` — so the pipeline's p50/p95/p99
+        stay relative-error-bounded without call sites opting in.
         """
-        return self._get_or_create(name, lambda: Histogram(name, buckets), "histogram")
+        if sketch is None:
+            sketch = name.endswith(".latency")
+        return self._get_or_create(
+            name, lambda: Histogram(name, buckets, sketch=sketch), "histogram"
+        )
 
     def get(self, name: str):
         """The metric named ``name``, or None."""
@@ -261,6 +369,41 @@ class MetricsRegistry:
             if name.startswith(prefix)
         }
 
+    def to_dict(self) -> dict:
+        """Every metric's *full* state, name-keyed and JSON-safe.
+
+        Unlike :meth:`snapshot` (a human summary), this is lossless:
+        ``MetricsRegistry.from_dict(r.to_dict())`` reconstructs an
+        equivalent registry, and ``from_dict(d).to_dict() == d`` — the
+        round-trip the scorecard and exporters rely on to move metrics
+        across processes.
+        """
+        return {
+            name: metric.to_dict()
+            for name, metric in sorted(self._metrics.items())
+        }
+
+    @classmethod
+    def from_dict(cls, payload: dict) -> "MetricsRegistry":
+        """Rebuild a registry from its :meth:`to_dict` form."""
+        registry = cls()
+        factories = {
+            "counter": registry.counter,
+            "gauge": registry.gauge,
+        }
+        for name, state in payload.items():
+            kind = state["kind"]
+            if kind == "histogram":
+                metric = registry.histogram(
+                    name,
+                    buckets=tuple(state["buckets"]),
+                    sketch=False,  # restore() reinstates the sketch state
+                )
+            else:
+                metric = factories[kind](name)
+            metric.restore(state)
+        return registry
+
 
 #: The process-wide default registry every layer reports into.
 _GLOBAL = MetricsRegistry()
@@ -281,6 +424,10 @@ def gauge(name: str) -> Gauge:
     return _GLOBAL.gauge(name)
 
 
-def histogram(name: str, buckets: tuple[float, ...] | None = None) -> Histogram:
-    """Shorthand for ``get_registry().histogram(name, buckets)``."""
-    return _GLOBAL.histogram(name, buckets)
+def histogram(
+    name: str,
+    buckets: tuple[float, ...] | None = None,
+    sketch: bool | float | None = None,
+) -> Histogram:
+    """Shorthand for ``get_registry().histogram(name, buckets, sketch)``."""
+    return _GLOBAL.histogram(name, buckets, sketch)

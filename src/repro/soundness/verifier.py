@@ -21,6 +21,7 @@ from dataclasses import dataclass, field
 
 from repro.errors import SoundnessError
 from repro.nl.constrained import SQLValidator
+from repro.obs.events import emit
 from repro.obs.metrics import counter
 from repro.obs.trace import span
 from repro.sqldb import ast
@@ -66,7 +67,16 @@ class AnswerVerifier:
             report = self._verify_at_depth(result, depth)
             verify_span.set_attribute("passed", report.passed)
             verify_span.set_attribute("checks", len(report.checks_run))
-        (self._passed if report.passed else self._failed).inc()
+        if report.passed:
+            self._passed.inc()
+        else:
+            self._failed.inc()
+            emit(
+                "soundness.verifier.failure",
+                severity="warning",
+                depth=report.depth,
+                issues=list(report.issues[:3]),
+            )
         return report
 
     def _verify_at_depth(self, result: QueryResult, depth: str) -> VerificationReport:

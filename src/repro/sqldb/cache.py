@@ -21,6 +21,7 @@ from collections import OrderedDict
 from dataclasses import dataclass
 
 from repro.errors import CDAError
+from repro.obs.events import emit
 from repro.obs.metrics import counter
 from repro.sqldb import ast
 
@@ -116,6 +117,7 @@ class QueryCache:
             self.stats.misses += 1
             self._metric_invalidations.inc()
             self._metric_misses.inc()
+            emit("sqldb.cache.invalidation", sql=key[0])
             return None
         self._entries.move_to_end(key)
         self.stats.hits += 1

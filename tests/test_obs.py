@@ -191,6 +191,23 @@ class TestExport:
         # Exotic attribute values were coerced to JSON-safe forms.
         assert payload["children"][0]["attributes"]["weird"] == {"tuple": [1, 2]}
 
+    def test_error_status_spans_round_trip_through_json(self):
+        # Satellite check: an exception inside a span must survive the
+        # full JSON round trip with status "error" AND its message.
+        try:
+            with start_trace("engine.ask") as root:
+                with span("engine.execution"):
+                    raise SoundnessError("verification exploded")
+        except SoundnessError:
+            pass
+        restored = from_json(to_json(root))
+        failed = restored.find("engine.execution")
+        assert failed.status == "error"
+        assert failed.error == "SoundnessError: verification exploded"
+        assert restored.status == "error"
+        # A second round trip is a fixed point.
+        assert to_dict(from_json(to_json(restored))) == to_dict(restored)
+
     def test_render_text_shows_tree_and_errors(self):
         report = render_text(self._sample_trace())
         lines = report.splitlines()
