@@ -1,0 +1,234 @@
+"""E17 — flight recorder: record overhead, replay fidelity & throughput.
+
+The PR-5 flight recorder (:mod:`repro.obs.recorder` /
+:mod:`repro.obs.replay`) is only worth keeping always-on if capture is
+nearly free and replay actually reproduces.  This benchmark measures:
+
+* **record overhead** — mean turn latency with ``record_turns`` on vs
+  off over matched conversational workloads on cold engines (the
+  acceptance bound: capture costs at most 5% of a turn);
+* **replay fidelity & throughput** — a recorded session replayed on a
+  fresh engine must produce **zero divergences** (asserted at every
+  scale — fidelity is correctness, not speed), timed in turns/second;
+* **black-box serialisation** — ``FlightRecorder.to_jsonl`` renders per
+  second and bytes per turn, the cost of dump-on-anomaly.
+
+``E17_SCALE`` scales iteration counts (CI smoke uses 0.1; timing bounds
+are only asserted at full scale).
+"""
+
+from __future__ import annotations
+
+import gc
+import json
+import os
+import statistics
+import time
+from pathlib import Path
+
+from conftest import format_table, write_results
+from repro.core import CDAEngine, ReliabilityConfig
+from repro.datasets import build_swiss_labour_registry
+from repro.obs import BlackBox, replay_session
+
+SCALE = float(os.environ.get("E17_SCALE", "1.0"))
+#: Timing noise dominates small runs; only full scale asserts the bounds.
+ASSERT_BOUNDS = SCALE >= 1.0
+
+RESULTS_DIR = Path(__file__).parent / "results"
+
+QUESTIONS = (
+    "how many employees are there",
+    "average employees by canton",
+    "what data do you have about employment",
+    "employment",  # resolves the discovery turn's clarification
+    "and for bern",
+)
+
+
+def _scaled(n: int) -> int:
+    return max(2, int(n * SCALE))
+
+
+def _fresh_engine(record_turns: bool) -> CDAEngine:
+    """An engine over its own cold bundle (no shared query cache)."""
+    bundle = build_swiss_labour_registry(seed=0)
+    engine = CDAEngine(
+        bundle.registry,
+        bundle.vocabulary,
+        config=ReliabilityConfig(record_turns=record_turns),
+    )
+    if engine.recorder is not None:
+        engine.recorder.context.update(domain="swiss", seed=0)
+    return engine
+
+
+#: Script repetitions per timed session (more turns per sample beats
+#: down per-session timing noise — the effect being measured is ~2% of
+#: a turn, well inside single-session scheduler jitter).
+SESSION_REPEATS = 4
+
+
+def _run_session(engine: CDAEngine) -> float:
+    """Seconds spent inside ``ask`` for one scripted session (GC parked
+    so collection pauses do not land on one arm by luck)."""
+    gc.collect()
+    gc.disable()
+    try:
+        started = time.perf_counter()
+        for _ in range(SESSION_REPEATS):
+            for question in QUESTIONS:
+                engine.ask(question)
+        return time.perf_counter() - started
+    finally:
+        gc.enable()
+
+
+def _record_overhead(rounds: int) -> tuple[dict, CDAEngine]:
+    """Paired A/B sessions: recorder on vs off, order alternated.
+
+    Engine construction (bundle build, cache attach) happens outside the
+    timed region; each arm gets its own cold engine per round so neither
+    benefits from the other's query cache.  The headline is the *median*
+    of per-round on/off ratios — host timing noise on a ~100 µs effect
+    makes means of small samples unreliable.
+    """
+    ratios: list[float] = []
+    on_seconds = 0.0
+    off_seconds = 0.0
+    turns = rounds * len(QUESTIONS) * SESSION_REPEATS
+    last_recording_engine: CDAEngine | None = None
+    for round_index in range(rounds):
+        arms = [True, False] if round_index % 2 == 0 else [False, True]
+        seconds_by_arm = {}
+        for record_turns in arms:
+            engine = _fresh_engine(record_turns)
+            seconds_by_arm[record_turns] = _run_session(engine)
+            if record_turns:
+                last_recording_engine = engine
+        on_seconds += seconds_by_arm[True]
+        off_seconds += seconds_by_arm[False]
+        ratios.append(seconds_by_arm[True] / seconds_by_arm[False])
+    stats = {
+        "turns_per_arm": turns,
+        "turn_on_us": on_seconds / turns * 1e6,
+        "turn_off_us": off_seconds / turns * 1e6,
+        "overhead_ratio": statistics.median(ratios),
+        "overhead_ratio_mean": on_seconds / off_seconds,
+    }
+    return stats, last_recording_engine
+
+
+def _serialize_throughput(engine: CDAEngine, iterations: int) -> dict:
+    """``to_jsonl`` renders per second for the session black box."""
+    text = engine.recorder.to_jsonl()  # resolves the fingerprint once
+    started = time.perf_counter()
+    for _ in range(iterations):
+        text = engine.recorder.to_jsonl()
+    seconds = (time.perf_counter() - started) / iterations
+    return {
+        "blackbox_bytes": len(text),
+        "bytes_per_turn": len(text) / max(1, len(engine.recorder)),
+        "serialize_per_second": 1.0 / seconds,
+        "jsonl": text,
+    }
+
+
+def _replay(blackbox: BlackBox, sessions: int) -> dict:
+    """Replay fidelity (must be exact) and throughput."""
+    divergences = 0
+    started = time.perf_counter()
+    for _ in range(sessions):
+        report = replay_session(blackbox)
+        divergences += report.divergence_count
+        divergences += len(report.header_issues)
+    seconds = time.perf_counter() - started
+    replayed_turns = sessions * len(blackbox)
+    return {
+        "sessions": sessions,
+        "turns": replayed_turns,
+        "divergences": divergences,
+        "replay_turns_per_second": replayed_turns / seconds,
+    }
+
+
+def test_e17_recorder(benchmark):
+    # The overhead headline feeds the regression gate even in smoke
+    # runs, and a median over 2 rounds is all noise — keep at least 8
+    # paired rounds regardless of scale.
+    overhead, engine = _record_overhead(max(8, _scaled(20)))
+    serialize = _serialize_throughput(engine, _scaled(200))
+    blackbox = BlackBox.loads(serialize.pop("jsonl"))
+    replay = _replay(blackbox, _scaled(10))
+
+    # Fidelity is a correctness property: asserted at every scale.
+    assert replay["divergences"] == 0, replay
+
+    payload = {
+        "experiment": "E17",
+        "scale": SCALE,
+        "bounds_asserted": ASSERT_BOUNDS,
+        "record_overhead_ratio": round(overhead["overhead_ratio"], 6),
+        "record_overhead_ratio_mean": round(
+            overhead["overhead_ratio_mean"], 6
+        ),
+        "turn_recorded_us": round(overhead["turn_on_us"], 2),
+        "turn_unrecorded_us": round(overhead["turn_off_us"], 2),
+        "turns_per_arm": overhead["turns_per_arm"],
+        "blackbox_bytes_per_turn": round(serialize["bytes_per_turn"], 1),
+        "serialize_per_second": round(serialize["serialize_per_second"], 1),
+        "replay_turns_per_second": round(replay["replay_turns_per_second"], 1),
+        "replay_divergences": replay["divergences"],
+        "replay_turns": replay["turns"],
+    }
+    RESULTS_DIR.mkdir(exist_ok=True)
+    with open(
+        RESULTS_DIR / "BENCH_recorder.json", "w", encoding="utf-8"
+    ) as handle:
+        json.dump(payload, handle, indent=2)
+
+    write_results(
+        "e17_recorder",
+        format_table(
+            ["measure", "value"],
+            [
+                [
+                    "record overhead (median)",
+                    f"{(overhead['overhead_ratio'] - 1.0) * 100:+.2f} % "
+                    f"({overhead['turn_on_us']:.0f} vs "
+                    f"{overhead['turn_off_us']:.0f} us/turn, "
+                    f"{overhead['turns_per_arm']} turns/arm)",
+                ],
+                [
+                    "black box size",
+                    f"{serialize['bytes_per_turn']:.0f} bytes/turn",
+                ],
+                [
+                    "black box serialise",
+                    f"{serialize['serialize_per_second']:.0f} boxes/s",
+                ],
+                [
+                    "replay throughput",
+                    f"{replay['replay_turns_per_second']:.0f} turns/s",
+                ],
+                [
+                    "replay fidelity",
+                    f"{replay['divergences']} divergences over "
+                    f"{replay['turns']} replayed turns",
+                ],
+            ],
+            title=f"E17: flight recorder (scale={SCALE})",
+        ),
+    )
+
+    # Timed kernel: capture-side cost — one scripted session with the
+    # recorder on (fresh engine each iteration, construction excluded
+    # via the benchmark's own calibration being dominated by ask()).
+    benchmark(lambda: _run_session(_fresh_engine(True)))
+
+    if ASSERT_BOUNDS:
+        # The acceptance bound: always-on capture costs at most 5% of a
+        # turn (plus loose sanity floors for the derived throughputs).
+        assert overhead["overhead_ratio"] <= 1.05, overhead
+        assert serialize["serialize_per_second"] > 10, serialize
+        assert replay["replay_turns_per_second"] > 1, replay

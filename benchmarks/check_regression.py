@@ -57,6 +57,17 @@ def _headlines(payload: dict) -> list[tuple[str, float, bool]]:
         return [
             ("E16 sketch max rel error", payload["sketch_max_rel_err"], False),
         ]
+    if experiment == "E17":
+        return [
+            (
+                "E17 record overhead ratio",
+                payload["record_overhead_ratio"],
+                False,
+            ),
+            # Baseline is 0, so any divergence at all fails the gate —
+            # replay fidelity is a correctness property, not a timing.
+            ("E17 replay divergences", payload["replay_divergences"], False),
+        ]
     return []
 
 

@@ -14,6 +14,13 @@ session's P1–P5 reliability verdicts at exit, ``--prometheus`` dumps
 the metrics registry in Prometheus exposition format, and
 ``--export-trace PATH`` writes the last traced turn as Chrome
 trace-event JSON (open it in Perfetto / ``chrome://tracing``).
+
+Flight recorder: ``--record PATH`` (alias ``--dump-blackbox PATH``)
+writes the session's black-box JSONL at exit — every turn's input and
+output envelope, replayable on any machine with the same code.
+``--replay FILE`` re-executes a black box on a fresh engine and prints
+the field-attributed divergence report (exit code 1 on any divergence,
+so CI can gate on "recordings reproduce exactly").
 """
 
 from __future__ import annotations
@@ -49,12 +56,19 @@ def build_engine(domain: str, llm_error_rate: float | None) -> CDAEngine:
         llm = SimulatedLLM(
             bundle.registry.database.catalog, error_rate=llm_error_rate
         )
-    return CDAEngine(
+    engine = CDAEngine(
         bundle.registry,
         bundle.vocabulary,
         config=ReliabilityConfig.full(),
         llm=llm,
     )
+    if engine.recorder is not None:
+        # Stamp the black-box header with everything --replay needs to
+        # rebuild this exact engine.
+        engine.recorder.context.update(
+            domain=domain, seed=0, llm_error_rate=llm_error_rate
+        )
+    return engine
 
 
 def answer_and_print(engine: CDAEngine, question: str, args):
@@ -75,7 +89,23 @@ def answer_and_print(engine: CDAEngine, question: str, args):
 
 
 def epilogue(engine: CDAEngine, args, last_answer=None) -> None:
-    """Exit-time telemetry exports: scorecard, Prometheus, trace JSON."""
+    """Exit-time telemetry exports: scorecard, Prometheus, trace JSON,
+    and the flight-recorder black box."""
+    if getattr(args, "record", None):
+        if engine.recorder is None:
+            print("recording is disabled (config.record_turns is off)")
+        else:
+            engine.recorder.dump(args.record)
+            print(
+                f"black box written to {args.record} "
+                f"({len(engine.recorder)} turns"
+                + (
+                    f", {engine.recorder.dropped} dropped"
+                    if engine.recorder.dropped
+                    else ""
+                )
+                + ")"
+            )
     if args.scorecard:
         print(engine.scorecard().render_text())
     if args.prometheus:
@@ -132,10 +162,25 @@ def main(argv: list[str] | None = None) -> int:
         "(Perfetto-loadable)",
     )
     parser.add_argument(
+        "--record", "--dump-blackbox", metavar="PATH", default=None,
+        help="write the session's flight-recorder black box (JSONL) at exit",
+    )
+    parser.add_argument(
+        "--replay", metavar="FILE", default=None,
+        help="replay a recorded black box on a fresh engine and print the "
+        "divergence report (exit code 1 on any divergence)",
+    )
+    parser.add_argument(
         "--llm-error-rate", type=float, default=None, metavar="EPS",
         help="attach a simulated LLM fallback with this hallucination rate",
     )
     args = parser.parse_args(argv)
+    if args.replay is not None:
+        from repro.obs import replay_session
+
+        report = replay_session(args.replay)
+        print(report.render_text())
+        return 1 if report.diverged else 0
     engine = build_engine(args.domain, args.llm_error_rate)
     if args.ask is not None:
         answer = answer_and_print(engine, args.ask, args)

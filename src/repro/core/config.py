@@ -8,7 +8,7 @@ documents, in code, exactly which machinery each property corresponds to.
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import asdict, dataclass, field, fields
 
 from repro.guidance.clarification import ClarificationMode
 from repro.nl.nl2sql import GroundingConfig
@@ -42,6 +42,17 @@ class ReliabilityConfig:
     # P3 Explainability ----------------------------------------------------------
     #: Attach a provenance-backed explanation to every data answer.
     attach_explanations: bool = True
+    #: Capture every turn's input/output envelope in the bounded flight
+    #: recorder (``engine.recorder``), so any bad turn can be dumped as a
+    #: black-box file and deterministically replayed (see
+    #: :mod:`repro.obs.recorder` / :mod:`repro.obs.replay`).
+    record_turns: bool = True
+    #: Turns the flight recorder keeps (oldest fall off the ring).
+    recorder_capacity: int = 256
+    #: Directory for automatic black-box dumps when a turn errors,
+    #: abstains anomalously, or breaches the p95 latency SLO (None =
+    #: flag the anomaly as an event but write nothing).
+    recorder_dump_dir: str | None = None
     #: Record a per-turn span tree (``answer.trace``) through every
     #: pipeline stage.  Off = the engine never opens a trace and every
     #: instrumented call site degenerates to a shared no-op (near-zero
@@ -65,6 +76,43 @@ class ReliabilityConfig:
     offer_suggestions: bool = True
     #: Adapt verbosity to the inferred user expertise.
     adapt_to_expertise: bool = True
+
+    # -- serialisation --------------------------------------------------------------------
+
+    def to_dict(self) -> dict:
+        """The whole configuration as one JSON-safe dict.
+
+        Lossless: ``ReliabilityConfig.from_dict(c.to_dict()) == c``.
+        The flight recorder stores this in every black-box header so a
+        replay runs under *exactly* the recorded switches.
+        """
+        payload = asdict(self)  # recurses into grounding and slo
+        payload["clarification_mode"] = self.clarification_mode.value
+        return payload
+
+    @classmethod
+    def from_dict(cls, payload: dict) -> "ReliabilityConfig":
+        """Inverse of :meth:`to_dict`.
+
+        Unknown keys raise (a recording from a future config version
+        should fail loudly, not replay under silently-dropped switches).
+        """
+        data = dict(payload)
+        kwargs: dict = {}
+        if "grounding" in data:
+            kwargs["grounding"] = GroundingConfig(**data.pop("grounding"))
+        if "slo" in data:
+            kwargs["slo"] = SLOThresholds(**data.pop("slo"))
+        if "clarification_mode" in data:
+            kwargs["clarification_mode"] = ClarificationMode(
+                data.pop("clarification_mode")
+            )
+        known = {f.name for f in fields(cls)}
+        unknown = set(data) - known
+        if unknown:
+            raise ValueError(f"unknown ReliabilityConfig keys: {sorted(unknown)}")
+        kwargs.update(data)
+        return cls(**kwargs)
 
     # -- presets ------------------------------------------------------------------------
 

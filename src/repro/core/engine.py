@@ -15,8 +15,9 @@ from time import perf_counter
 from repro.core.answer import Answer, AnswerKind
 from repro.core.config import ReliabilityConfig
 from repro.core.session import Session
-from repro.obs.events import emit
-from repro.obs.metrics import counter, histogram
+from repro.obs.events import emit, get_event_log
+from repro.obs.metrics import counter, get_registry, histogram
+from repro.obs.recorder import FlightRecorder, output_envelope
 from repro.obs.trace import span, start_trace
 from repro.datasets.registry import DataSourceRegistry
 from repro.errors import (
@@ -102,6 +103,19 @@ class CDAEngine:
         self.policy = SelectiveAnsweringPolicy(self.config.abstention_threshold)
         self.explainer = ExplanationBuilder(self.database)
         self.session = Session()
+        # The per-session flight recorder (see repro.obs.recorder): the
+        # fingerprint hook is a callable so the hash over every row is
+        # only paid when a black box actually leaves the process.
+        self.recorder: FlightRecorder | None = None
+        #: Counter snapshot taken at the end of the last captured turn
+        #: (reused as the next turn's "before" — see :meth:`ask`).
+        self._counters_snapshot: dict | None = None
+        if self.config.record_turns:
+            self.recorder = FlightRecorder(capacity=self.config.recorder_capacity)
+            self.recorder.context.update(
+                config=self.config.to_dict(),
+                fingerprint=registry.fingerprint,
+            )
 
     # ------------------------------------------------------------------------------
     # public API
@@ -119,20 +133,43 @@ class CDAEngine:
         ``answer.trace`` — the system-side provenance of the answer
         itself (which stages ran, where the time and confidence went).
         """
+        capture = self.recorder is not None
+        if capture:
+            # The session only changes inside ask(), so the previous
+            # turn's post-digest IS this turn's pre-digest — recomputing
+            # it would double the capture cost for nothing.  The counter
+            # snapshot is reused the same way: last turn's "after" is
+            # this turn's "before" (anything incremented between asks is
+            # attributed to the next turn, identically on record and
+            # replay, so comparisons stay exact).
+            last = self.recorder.last()
+            if last is not None and self._counters_snapshot is not None:
+                pre_digest = last.outputs["post_digest"]
+                counters_before = self._counters_snapshot
+            else:
+                pre_digest = self.session.state_digest()
+                counters_before = get_registry().counter_values()
+            event_mark = get_event_log().mark()
         started = perf_counter()
         if not self.config.tracing:
             answer = self._ask(text, llm_gold_sql)
-            self._record_turn(answer, perf_counter() - started, root=None)
-            return answer
-        with start_trace("engine.ask", question=text) as root:
-            answer = self._ask(text, llm_gold_sql)
-            root.set_attribute("answer.kind", answer.kind.value)
-            if answer.confidence is not None:
-                root.set_attribute(
-                    "answer.confidence", round(answer.confidence.value, 4)
-                )
-        answer.trace = root
-        self._record_turn(answer, perf_counter() - started, root)
+            root = None
+        else:
+            with start_trace("engine.ask", question=text) as root:
+                answer = self._ask(text, llm_gold_sql)
+                root.set_attribute("answer.kind", answer.kind.value)
+                if answer.confidence is not None:
+                    root.set_attribute(
+                        "answer.confidence", round(answer.confidence.value, 4)
+                    )
+            answer.trace = root
+        seconds = perf_counter() - started
+        self._record_turn(answer, seconds, root)
+        if capture:
+            self._capture_turn(
+                text, llm_gold_sql, pre_digest, event_mark, counters_before,
+                answer, seconds,
+            )
         return answer
 
     def _record_turn(self, answer: Answer, seconds: float, root) -> None:
@@ -159,6 +196,91 @@ class CDAEngine:
                     status=stage.status,
                     ms=round(stage.duration_ms, 3),
                 )
+
+    def _capture_turn(
+        self,
+        text: str,
+        llm_gold_sql: str | None,
+        pre_digest: str,
+        event_mark: int,
+        counters_before: dict,
+        answer: Answer,
+        seconds: float,
+    ) -> None:
+        """Fold one finished turn into the flight recorder: the full
+        input/output envelope plus the event slice and the per-turn
+        counter deltas, then check it for anomalies (dump-on-anomaly)."""
+        counters_after = get_registry().counter_values()
+        self._counters_snapshot = counters_after
+        metrics_delta = {
+            name: value - counters_before.get(name, 0)
+            for name, value in counters_after.items()
+            if value != counters_before.get(name, 0)
+        }
+        events = [
+            {
+                "name": event.name,
+                "severity": event.severity,
+                "attrs": dict(event.attrs),
+            }
+            for event in get_event_log().since(event_mark)
+        ]
+        outputs = output_envelope(
+            answer,
+            post_digest=self.session.state_digest(),
+            latency_s=seconds,
+            events=events,
+            metrics_delta=metrics_delta,
+        )
+        recording = self.recorder.record(
+            question=text,
+            outputs=outputs,
+            gold_sql=llm_gold_sql,
+            pre_digest=pre_digest,
+        )
+        self._flag_anomalies(recording, answer, seconds, events)
+
+    def _flag_anomalies(
+        self, recording, answer: Answer, seconds: float, events: list[dict]
+    ) -> None:
+        """Dump-on-anomaly: a turn that errors, abstains despite
+        above-threshold confidence (only the verifier forces that), logs
+        an error-severity event, or breaches the p95 latency SLO gets
+        flagged on its recording, announced on the event log, and — when
+        ``config.recorder_dump_dir`` is set — written out as a black-box
+        file while the evidence is still in the ring."""
+        reasons = []
+        if answer.kind is AnswerKind.ERROR:
+            reasons.append("error")
+        if (
+            answer.kind is AnswerKind.ABSTENTION
+            and answer.confidence is not None
+            and answer.confidence.value >= self.policy.threshold
+        ):
+            reasons.append("unexpected_abstention")
+        if any(event["severity"] == "error" for event in events):
+            reasons.append("error_events")
+        if seconds > self.config.slo.turn_p95_seconds:
+            reasons.append("latency_slo_breach")
+        if not reasons:
+            return
+        recording.anomaly = ",".join(reasons)
+        emit(
+            "recorder.anomaly",
+            severity="warning",
+            turn=recording.turn_index,
+            reasons=recording.anomaly,
+        )
+        if self.config.recorder_dump_dir:
+            import os
+
+            os.makedirs(self.config.recorder_dump_dir, exist_ok=True)
+            path = os.path.join(
+                self.config.recorder_dump_dir,
+                f"blackbox-turn{recording.turn_index:04d}.jsonl",
+            )
+            self.recorder.dump(path)
+            emit("recorder.dump", severity="info", path=path)
 
     def scorecard(self, thresholds=None):
         """This session's P1–P5 reliability verdicts (see

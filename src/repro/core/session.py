@@ -9,6 +9,8 @@ user-expertise profile, and the cross-component provenance tracker.
 
 from __future__ import annotations
 
+import hashlib
+import json
 from dataclasses import dataclass, field
 
 from repro.guidance.clarification import ClarificationQuestion
@@ -105,6 +107,66 @@ class Session:
             "focus_table": self.focus_table,
             "pending_clarification": self.pending_clarification is not None,
         }
+
+    def state_dict(self) -> dict:
+        """The full conversation context as one canonical, JSON-safe dict.
+
+        Everything a turn's behaviour can depend on is here — the
+        conversation graph, the pending clarification, the focus table,
+        the last intent, the used group columns, the expertise profile —
+        in a deterministic layout (sets sorted, no object identities, no
+        clocks), so two sessions that went through the same turns produce
+        the *same* dict regardless of process or machine.
+        """
+        return {"graph": self.graph.to_dict(), **self._context_tail()}
+
+    def _context_tail(self) -> dict:
+        """Every piece of turn-relevant context except the graph."""
+        pending = None
+        if self.pending_clarification is not None:
+            pending = {
+                "original_question": self.pending_clarification.original_question,
+                "question": self.pending_clarification.question.text,
+                "options": list(self.pending_clarification.question.options),
+                "subject": self.pending_clarification.subject,
+            }
+        profile = self.profiler.profile()
+        return {
+            "pending_clarification": pending,
+            "focus_table": self.focus_table,
+            # QueryIntent is a plain dataclass: its repr is a complete,
+            # deterministic rendering of the logical form.
+            "last_intent": repr(self.last_intent)
+            if self.last_intent is not None
+            else None,
+            "used_group_columns": sorted(self.used_group_columns),
+            "questions_asked": self.questions_asked,
+            "answers_given": self.answers_given,
+            "abstentions": self.abstentions,
+            "clarifications_asked": self.clarifications_asked,
+            "profile": {
+                "level": profile.level.value,
+                "score": round(profile.score, 12),
+                "questions_seen": profile.questions_seen,
+            },
+        }
+
+    def state_digest(self) -> str:
+        """Deterministic SHA-256 over the full conversation context.
+
+        The flight recorder stores this before and after every turn; a
+        replay asserts conversation-context equality by comparing
+        digests instead of diffing whole graphs.  The graph contributes
+        its O(1) running mutation chain
+        (:meth:`~repro.guidance.conversation_graph.ConversationGraph.digest`)
+        rather than a full re-serialisation, so digesting stays flat-cost
+        no matter how long the session — the capture path pays this on
+        every turn.
+        """
+        state = self._context_tail()
+        state["graph"] = self.graph.digest()
+        canonical = json.dumps(state, separators=(",", ":"))
+        return hashlib.sha256(canonical.encode("utf-8")).hexdigest()
 
     def scorecard(self, thresholds=None):
         """This session's reliability scorecard: the global metrics

@@ -19,6 +19,7 @@ default while remaining queryable for provenance replay.
 
 from __future__ import annotations
 
+import hashlib
 from dataclasses import dataclass, field
 
 from repro.errors import CDAError
@@ -147,6 +148,37 @@ class DataSourceRegistry:
     def table_sources(self) -> list[DataSourceInfo]:
         """All (fresh) table-backed sources."""
         return [info for info in self.sources() if info.kind == "table"]
+
+    # -- identity ---------------------------------------------------------------------
+
+    def fingerprint(self) -> str:
+        """A deterministic SHA-256 over the registered data and schemas.
+
+        Covers table names, column names/types, row counts, every row's
+        canonical repr, document ids/sizes, and the source metadata —
+        the replay harness compares it to a recording's header so a
+        black-box file is never replayed against different data.
+        """
+        hasher = hashlib.sha256()
+        for name in sorted(self.database.catalog.table_names):
+            table = self.database.catalog.table(name)
+            hasher.update(name.encode("utf-8"))
+            for column in table.schema:
+                hasher.update(f"{column.name}:{column.type.value}".encode("utf-8"))
+            hasher.update(str(len(table)).encode("utf-8"))
+            for row in table.rows():
+                hasher.update(repr(row).encode("utf-8"))
+        for info in sorted(self._sources.values(), key=lambda i: i.name):
+            hasher.update(
+                f"{info.name}|{info.kind}|{info.stale}|{info.description}".encode(
+                    "utf-8"
+                )
+            )
+        for document in sorted(self.documents.documents(), key=lambda d: d.doc_id):
+            hasher.update(
+                f"{document.doc_id}:{len(document.full_text)}".encode("utf-8")
+            )
+        return hasher.hexdigest()
 
     # -- data rotting -----------------------------------------------------------------
 

@@ -20,7 +20,9 @@ after the fact.
 from __future__ import annotations
 
 import enum
+import hashlib
 import itertools
+import json
 from dataclasses import dataclass, field
 
 import networkx as nx
@@ -66,6 +68,7 @@ class ConversationGraph:
         self._graph = nx.DiGraph()
         self._nodes: dict[int, TurnNode] = {}
         self._counter = itertools.count()
+        self._digest = hashlib.sha256(b"conversation-graph-v1").hexdigest()
 
     def __len__(self) -> int:
         return len(self._nodes)
@@ -93,6 +96,19 @@ class ConversationGraph:
         )
         self._nodes[turn.turn_id] = turn
         self._graph.add_node(turn.turn_id)
+        self._fold(
+            {
+                "turn": {
+                    "turn_id": turn.turn_id,
+                    "actor": turn.actor,
+                    "kind": turn.kind.value,
+                    "text": turn.text,
+                    "confidence": turn.confidence,
+                    "speculative": turn.speculative,
+                    "metadata": dict(turn.metadata),
+                }
+            }
+        )
         if replies_to is not None:
             self.link(replies_to, turn.turn_id, role=role)
         return turn
@@ -104,6 +120,30 @@ class ConversationGraph:
         if from_id not in self._nodes or to_id not in self._nodes:
             raise GuidanceError("both turns must exist before linking")
         self._graph.add_edge(from_id, to_id, role=role)
+        self._fold({"edge": {"from": from_id, "to": to_id, "role": role}})
+
+    # -- running digest ---------------------------------------------------------
+
+    def _fold(self, payload: dict) -> None:
+        """Fold one mutation into the running digest chain."""
+        canonical = json.dumps(
+            payload, sort_keys=True, separators=(",", ":"), default=repr
+        )
+        self._digest = hashlib.sha256(
+            (self._digest + canonical).encode("utf-8")
+        ).hexdigest()
+
+    def digest(self) -> str:
+        """A SHA-256 chain over every mutation since creation.
+
+        Graphs built by the same sequence of ``add_turn``/``link`` calls
+        share a digest; any divergence in that sequence changes it.  The
+        chain is updated incrementally at mutation time, so reading it is
+        O(1) no matter how long the conversation — which is what lets
+        the flight recorder digest the session after every turn without
+        re-serialising a growing graph (see ``Session.state_digest``).
+        """
+        return self._digest
 
     def turn(self, turn_id: int) -> TurnNode:
         """Fetch a turn by id."""

@@ -43,6 +43,7 @@ from repro.obs.export import (
     to_json,
 )
 from repro.obs.exporters import (
+    blackbox_chrome_trace,
     chrome_trace_json,
     sanitize_metric_name,
     to_chrome_trace,
@@ -54,6 +55,22 @@ from repro.obs.scorecard import (
     Scorecard,
     SLOThresholds,
     build_scorecard,
+)
+from repro.obs.recorder import (
+    BLACKBOX_VERSION,
+    COMPARED_FIELDS,
+    BlackBox,
+    FlightRecorder,
+    TurnRecording,
+    diff_envelopes,
+    output_envelope,
+)
+from repro.obs.replay import (
+    DivergenceReport,
+    FieldDivergence,
+    TurnReplay,
+    build_engine_for_header,
+    replay_session,
 )
 
 __all__ = [
@@ -85,10 +102,23 @@ __all__ = [
     "to_prometheus",
     "to_chrome_trace",
     "chrome_trace_json",
+    "blackbox_chrome_trace",
     "sanitize_metric_name",
     "SLOThresholds",
     "CheckResult",
     "PropertyVerdict",
     "Scorecard",
     "build_scorecard",
+    "BLACKBOX_VERSION",
+    "COMPARED_FIELDS",
+    "BlackBox",
+    "FlightRecorder",
+    "TurnRecording",
+    "diff_envelopes",
+    "output_envelope",
+    "DivergenceReport",
+    "FieldDivergence",
+    "TurnReplay",
+    "build_engine_for_header",
+    "replay_session",
 ]

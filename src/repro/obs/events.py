@@ -131,6 +131,32 @@ class EventLog:
         """Events that fell off the back of the ring."""
         return self.emitted - len(self._events)
 
+    def mark(self) -> int:
+        """An opaque position marker for :meth:`since` (the emission
+        count so far) — take one before a unit of work to slice out
+        exactly the events that work emits."""
+        return self.emitted
+
+    def since(self, marker: int) -> list[Event]:
+        """Buffered events emitted after ``marker``, oldest first.
+
+        Events that have already fallen off the ring are gone: at most
+        the ``emitted - marker`` newest buffered events are returned.
+        """
+        new = self.emitted - marker
+        if new <= 0:
+            return []
+        if new >= len(self._events):
+            return list(self._events)
+        # O(new), not O(capacity): a full ring holds 2048 events and
+        # per-turn capture slices just the last handful.
+        tail = []
+        newest_first = reversed(self._events)
+        for _ in range(new):
+            tail.append(next(newest_first))
+        tail.reverse()
+        return tail
+
     def counts_by_severity(self) -> dict[str, int]:
         """Buffered event counts keyed by severity (all keys present)."""
         counts = {severity: 0 for severity in SEVERITIES}

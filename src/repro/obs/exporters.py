@@ -38,6 +38,7 @@ __all__ = [
     "to_prometheus",
     "to_chrome_trace",
     "chrome_trace_json",
+    "blackbox_chrome_trace",
 ]
 
 _INVALID_CHARS = re.compile(r"[^a-zA-Z0-9_:]")
@@ -151,3 +152,77 @@ def to_chrome_trace(root: Span, pid: int = 1, tid: int = 1) -> dict:
 def chrome_trace_json(root: Span, indent: int | None = None) -> str:
     """:func:`to_chrome_trace` serialised as a JSON document."""
     return json.dumps(to_chrome_trace(root), indent=indent)
+
+
+def blackbox_chrome_trace(blackbox, pid: int = 1) -> dict:
+    """A whole black box as one Perfetto-loadable session timeline.
+
+    Each recorded turn's captured span tree (stored in its output
+    envelope by :func:`repro.obs.recorder.output_envelope`) is laid out
+    sequentially on a single thread — turn N starts where turn N-1
+    ended — so a dumped session can be inspected end to end as one
+    flame graph.  Turns recorded without tracing contribute a single
+    synthetic span from their measured turn latency; anomalous turns are
+    marked with their reasons in ``args``.
+    """
+    from repro.obs.export import from_dict as span_from_dict
+
+    events: list[dict] = [
+        {
+            "ph": "M",
+            "name": "process_name",
+            "pid": pid,
+            "tid": 1,
+            "args": {"name": "repro session"},
+        }
+    ]
+    cursor_us = 0.0
+    for recording in blackbox.turns:
+        outputs = recording.outputs
+        args: dict = {
+            "turn_index": recording.turn_index,
+            "question": recording.question,
+            "kind": outputs.get("kind"),
+        }
+        if recording.anomaly:
+            args["anomaly"] = recording.anomaly
+        trace_payload = outputs.get("trace")
+        if trace_payload is not None:
+            # Loaded black boxes store the tree as a dict; a live
+            # recorder still holds the Span object (lazy serialisation).
+            root = (
+                span_from_dict(trace_payload)
+                if isinstance(trace_payload, dict)
+                else trace_payload
+            )
+            origin_ns = root.start_ns
+            for node in root.iter_spans():
+                events.append(
+                    {
+                        "name": node.name,
+                        "cat": node.name.split(".", 1)[0],
+                        "ph": "X",
+                        "ts": cursor_us + (node.start_ns - origin_ns) / 1e3,
+                        "dur": node.duration_ns / 1e3,
+                        "pid": pid,
+                        "tid": 1,
+                        "args": args if node is root else {"status": node.status},
+                    }
+                )
+            duration_us = root.duration_ns / 1e3
+        else:
+            duration_us = (outputs.get("latency_s") or 0.0) * 1e6
+            events.append(
+                {
+                    "name": "engine.ask",
+                    "cat": "engine",
+                    "ph": "X",
+                    "ts": cursor_us,
+                    "dur": duration_us,
+                    "pid": pid,
+                    "tid": 1,
+                    "args": args,
+                }
+            )
+        cursor_us += duration_us
+    return {"traceEvents": events, "displayTimeUnit": "ms"}

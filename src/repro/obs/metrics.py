@@ -343,6 +343,20 @@ class MetricsRegistry:
         """The metric named ``name``, or None."""
         return self._metrics.get(name)
 
+    def counter_values(self, prefix: str = "") -> dict[str, int]:
+        """Name → value for every registered counter.
+
+        Counters (unlike latency histograms) advance deterministically
+        with the work performed, so a before/after pair of these dicts is
+        the per-turn *work delta* the flight recorder captures and the
+        replay harness compares.
+        """
+        return {
+            name: metric.value
+            for name, metric in self._metrics.items()
+            if metric.kind == "counter" and name.startswith(prefix)
+        }
+
     def names(self) -> list[str]:
         """All registered metric names, sorted."""
         return sorted(self._metrics)
